@@ -1,0 +1,140 @@
+#ifndef HASHJOIN_BENCH_BENCH_COMMON_H_
+#define HASHJOIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "join/grace.h"
+#include "mem/memory_model.h"
+#include "simcache/memory_sim.h"
+#include "util/flags.h"
+#include "workload/generator.h"
+
+namespace hashjoin {
+namespace bench {
+
+/// Scaled experiment geometry shared by the simulator benches. The paper
+/// runs a 50MB join-phase memory budget at a 50:1 memory:cache ratio
+/// (§7.1 footnote 7); `scale` shrinks every byte count while the cache
+/// stays Table-2 sized, so runs finish in seconds. scale = 1.0 reproduces
+/// the paper's sizes exactly.
+struct BenchGeometry {
+  double scale = 0.1;
+
+  uint64_t MemoryBudget() const {
+    return uint64_t(50.0 * 1024 * 1024 * scale);
+  }
+  /// Build-partition tuple count for a tuple size: partition + hash table
+  /// fill the memory budget tightly (§7.1).
+  uint64_t BuildTuples(uint32_t tuple_size) const {
+    uint64_t per_tuple =
+        tuple_size + sizeof(BucketHeader) + sizeof(HashCell);
+    return MemoryBudget() / per_tuple;
+  }
+};
+
+/// Result of one simulated phase run.
+struct SimRun {
+  sim::SimStats stats;
+  uint64_t outputs = 0;
+  double wall_seconds = 0;
+};
+
+/// Joins one generated (build, probe) partition pair in the simulator
+/// under `scheme`: measures build + probe together (the paper's join
+/// phase). The caches start cold.
+inline SimRun RunJoinPhaseSim(Scheme scheme, const JoinWorkload& w,
+                              const KernelParams& params,
+                              const sim::SimConfig& cfg) {
+  sim::MemorySim simulator(cfg);
+  SimMemory mm(&simulator);
+  WallTimer timer;
+  HashTable ht(ChooseBucketCount(w.build.num_tuples(), 31));
+  BuildPartition(mm, scheme, w.build, &ht, params);
+  Relation out(ConcatSchema(w.build.schema(), w.probe.schema()));
+  SimRun r;
+  r.outputs = ProbePartition(mm, scheme, w.probe, ht,
+                             w.build.schema().fixed_size(), params, &out);
+  r.stats = simulator.stats();
+  r.wall_seconds = timer.ElapsedSeconds();
+  return r;
+}
+
+/// Partitions a generated source relation into P partitions in the
+/// simulator under `scheme`.
+inline SimRun RunPartitionPhaseSim(Scheme scheme, const Relation& input,
+                                   uint32_t num_partitions,
+                                   const KernelParams& params,
+                                   const sim::SimConfig& cfg,
+                                   bool combined = false) {
+  sim::MemorySim simulator(cfg);
+  SimMemory mm(&simulator);
+  WallTimer timer;
+  std::vector<Relation> parts;
+  parts.reserve(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    parts.emplace_back(input.schema());
+  }
+  SimRun r;
+  {
+    PartitionSinkSet sinks(&parts, kDefaultPageSize);
+    if (combined) {
+      PartitionCombined(mm, input, &sinks, num_partitions, params,
+                        cfg.l2_size, scheme);
+    } else {
+      PartitionRelation(mm, scheme, input, &sinks, num_partitions, params);
+    }
+  }
+  for (auto& p : parts) r.outputs += p.num_tuples();
+  r.stats = simulator.stats();
+  r.wall_seconds = timer.ElapsedSeconds();
+  return r;
+}
+
+/// Pretty-prints one breakdown bar (the Figure 1/11/15 format): absolute
+/// cycles and the share of each stall category.
+inline void PrintBreakdown(const std::string& label,
+                           const sim::SimStats& s) {
+  uint64_t total = s.TotalCycles();
+  auto pct = [&](uint64_t v) {
+    return total == 0 ? 0.0 : 100.0 * double(v) / double(total);
+  };
+  std::printf(
+      "%-22s total=%12llu  busy=%5.1f%%  dcache=%5.1f%%  dtlb=%5.1f%%  "
+      "other=%5.1f%%\n",
+      label.c_str(), (unsigned long long)total, pct(s.busy_cycles),
+      pct(s.dcache_stall_cycles), pct(s.dtlb_stall_cycles),
+      pct(s.other_stall_cycles));
+}
+
+/// Normalized-cycles row for line-chart style figures.
+inline void PrintSeriesHeader(const char* x_name) {
+  std::printf("%-14s %14s %14s %14s %14s\n", x_name, "baseline", "simple",
+              "group", "swp");
+}
+
+inline void PrintSeriesRow(const std::string& x,
+                           const std::vector<uint64_t>& cycles) {
+  std::printf("%-14s", x.c_str());
+  for (uint64_t c : cycles) std::printf(" %14llu", (unsigned long long)c);
+  std::printf("\n");
+}
+
+inline void PrintSpeedups(const std::vector<uint64_t>& cycles) {
+  if (cycles.empty() || cycles[0] == 0) return;
+  std::printf("%-14s", "  speedup");
+  for (uint64_t c : cycles) {
+    std::printf(" %13.2fx", c == 0 ? 0.0 : double(cycles[0]) / double(c));
+  }
+  std::printf("\n");
+}
+
+inline std::vector<Scheme> AllSchemes() {
+  return {Scheme::kBaseline, Scheme::kSimple, Scheme::kGroup, Scheme::kSwp};
+}
+
+}  // namespace bench
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_BENCH_BENCH_COMMON_H_

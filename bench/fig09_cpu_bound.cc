@@ -1,0 +1,77 @@
+// Figure 9: is hash join I/O-bound or CPU-bound? Runs the disk-backed
+// GRACE join (DiskGraceJoin) against real worker threads over simulated
+// (bandwidth-throttled, RAM-backed) disks, varying the disk count. As
+// disks are added, the per-disk I/O time drops and total elapsed time
+// flattens: the join becomes CPU-bound (the paper sees this at ~4 disks
+// with 68MB/s SCSI disks on a 550MHz Pentium III).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "join/grace_disk.h"
+#include "storage/buffer_manager.h"
+
+using namespace hashjoin;
+using namespace hashjoin::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Parse(argc, argv);
+  uint64_t build_mb = uint64_t(flags.GetInt("mb", 16));
+  // The paper's machine partitioned at ~25MB/s per CPU against 68MB/s
+  // disks (ratio ~1:2.7 per disk). A modern core partitions RAM-resident
+  // pages orders of magnitude faster, so the default disk bandwidth is
+  // scaled up to preserve that disk:CPU throughput ratio — what Figure 9
+  // is actually about. Override with --disk_mb_s / --disk_lat_us.
+  double disk_mb_s = flags.GetDouble("disk_mb_s", 1200.0);
+  uint32_t disk_lat_us = uint32_t(flags.GetInt("disk_lat_us", 4));
+  uint32_t max_disks = uint32_t(flags.GetInt("max_disks", 6));
+
+  WorkloadSpec spec;
+  spec.tuple_size = 100;
+  spec.num_build_tuples = build_mb * 1024 * 1024 / 100;
+  spec.matches_per_build = 2.0;
+  JoinWorkload w = GenerateJoinWorkload(spec);
+
+  std::printf(
+      "=== Figure 9: CPU-bound vs I/O-bound (%lluMB build, %lluMB probe, "
+      "%.0fMB/s disks, 31 partitions) ===\n\n",
+      (unsigned long long)build_mb, (unsigned long long)(build_mb * 2),
+      disk_mb_s);
+  std::printf("%-6s | %28s | %28s\n", "", "partition phase (build rel)",
+              "join phase (all partitions)");
+  std::printf("%-6s | %9s %9s %8s | %9s %9s %8s\n", "disks", "elapsed",
+              "workerIO", "mainwait", "elapsed", "workerIO", "mainwait");
+
+  for (uint32_t ndisks = 1; ndisks <= max_disks; ++ndisks) {
+    BufferManagerConfig cfg;
+    cfg.num_disks = ndisks;
+    cfg.disk.bandwidth_mb_per_s = disk_mb_s;
+    cfg.disk.request_latency_us = disk_lat_us;
+    cfg.io_prefetch_depth = 32 * 8;  // keep every disk streaming
+    BufferManager bm(cfg);
+    DiskGraceJoin join(&bm, 31);  // the paper's 31 partitions
+
+    auto build_file = join.StoreRelation(w.build);
+    auto probe_file = join.StoreRelation(w.probe);
+    DiskJoinResult r = join.Join(build_file, probe_file);
+    if (r.output_tuples != w.expected_matches) {
+      std::fprintf(stderr, "match count wrong: %llu vs %llu\n",
+                   (unsigned long long)r.output_tuples,
+                   (unsigned long long)w.expected_matches);
+      return 1;
+    }
+    std::printf("%-6u | %8.2fs %8.2fs %7.2fs | %8.2fs %8.2fs %7.2fs\n",
+                ndisks, r.partition_phase.elapsed_seconds,
+                r.partition_phase.max_disk_seconds,
+                r.partition_phase.main_wait_seconds,
+                r.join_phase.elapsed_seconds,
+                r.join_phase.max_disk_seconds,
+                r.join_phase.main_wait_seconds);
+  }
+
+  std::printf(
+      "\npaper: elapsed time flattens and main-thread wait drops below "
+      "10%% at >=4 disks -> hash join is CPU-bound\n");
+  return 0;
+}

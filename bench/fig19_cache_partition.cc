@@ -1,0 +1,115 @@
+// Figure 19: full-join comparison with cache partitioning, when "direct
+// cache" applies (relations small enough for cache-sized I/O
+// partitions). Partition-phase, join-phase, and overall times for: the
+// GRACE baseline, group prefetching, software-pipelined prefetching,
+// direct cache partitioning, and two-step cache partitioning.
+// (a)-(c) vary the tuple size at 2 matches/build; (d) varies the
+// percentage of tuples with matches at 100B.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace hashjoin;
+using namespace hashjoin::bench;
+
+namespace {
+
+struct Config {
+  const char* name;
+  Scheme join_scheme;
+  Scheme partition_scheme;
+  GraceConfig::CacheMode mode;
+};
+
+std::vector<Config> Configs() {
+  return {
+      {"baseline", Scheme::kBaseline, Scheme::kBaseline,
+       GraceConfig::CacheMode::kNone},
+      {"group", Scheme::kGroup, Scheme::kGroup,
+       GraceConfig::CacheMode::kNone},
+      {"swp", Scheme::kSwp, Scheme::kSwp, GraceConfig::CacheMode::kNone},
+      // Cache partitioning enhanced with simple prefetching (§7.5).
+      {"direct-cache", Scheme::kSimple, Scheme::kGroup,
+       GraceConfig::CacheMode::kDirect},
+      {"2step-cache", Scheme::kSimple, Scheme::kGroup,
+       GraceConfig::CacheMode::kTwoStep},
+  };
+}
+
+void RunPoint(const char* xlabel, const JoinWorkload& w, uint64_t budget) {
+  for (const Config& c : Configs()) {
+    sim::MemorySim simulator{sim::SimConfig{}};
+    SimMemory mm(&simulator);
+    GraceConfig gc;
+    gc.memory_budget = budget;
+    gc.join_scheme = c.join_scheme;
+    gc.partition_scheme = c.partition_scheme;
+    // All partition phases use combined prefetching (§7.5); the schemes
+    // differ in partition counts and join-phase strategy. The baseline
+    // keeps its unprefetched partition phase.
+    gc.combined_partition = c.mode != GraceConfig::CacheMode::kNone ||
+                            c.partition_scheme != Scheme::kBaseline;
+    gc.cache_mode = c.mode;
+    gc.join_params.group_size = 14;
+    gc.join_params.prefetch_distance = 1;
+    gc.partition_params.group_size = 14;
+    gc.partition_params.prefetch_distance = 2;
+    JoinResult r = GraceHashJoin(mm, w.build, w.probe, gc, nullptr);
+    uint64_t part = r.partition_phase.sim.TotalCycles();
+    uint64_t join = r.join_phase.sim.TotalCycles();
+    std::printf("%-10s %-14s parts=%-5u partition=%12llu join=%12llu "
+                "total=%12llu\n",
+                xlabel, c.name, r.num_partitions, (unsigned long long)part,
+                (unsigned long long)join, (unsigned long long)(part + join));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Parse(argc, argv);
+  double scale = flags.GetDouble("scale", 0.05);
+  uint64_t budget = uint64_t(50.0 * 1024 * 1024 * scale);
+
+  std::printf(
+      "=== Figure 19: comparison with cache partitioning (scaled 200MB "
+      "x 400MB join) [scale=%.2f] ===\n\n",
+      scale);
+
+  std::printf("--- (a-c) varying tuple size, 2 matches/build ---\n");
+  for (uint32_t ts : {20u, 60u, 100u, 140u}) {
+    WorkloadSpec spec;
+    spec.tuple_size = ts;
+    spec.num_build_tuples = uint64_t(200.0 * 1024 * 1024 * scale) / ts;
+    spec.matches_per_build = 2.0;
+    JoinWorkload w = GenerateJoinWorkload(spec);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%uB", ts);
+    RunPoint(label, w, budget);
+    std::printf("\n");
+  }
+
+  std::printf("--- (d) varying %% of tuples with matches, 100B ---\n");
+  for (double f : {0.5, 0.75, 1.0}) {
+    WorkloadSpec spec;
+    spec.tuple_size = 100;
+    spec.num_build_tuples = uint64_t(200.0 * 1024 * 1024 * scale) / 100;
+    spec.matches_per_build = 2.0;
+    spec.build_match_fraction = f;
+    spec.probe_match_fraction = f;
+    JoinWorkload w = GenerateJoinWorkload(spec);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%d%%", int(f * 100));
+    RunPoint(label, w, budget);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "paper: direct-cache best in the join phase but pays in the "
+      "partition phase; two-step 50-150%% slower than prefetching; "
+      "prefetching best overall (1.9-2.7X over baseline)\n");
+  return 0;
+}

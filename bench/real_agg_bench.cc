@@ -1,0 +1,94 @@
+// Real-hardware microbenchmarks of hash-based group-by aggregation — the
+// paper's proposed extension — comparing the baseline loop against group
+// and software-pipelined prefetching across group counts (cache-resident
+// to far-beyond-cache accumulators).
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+
+#include "join/aggregate_kernels.h"
+#include "mem/memory_model.h"
+#include "util/bitops.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace hashjoin {
+namespace {
+
+const Relation& SharedFacts(uint64_t groups) {
+  static auto* cache = new std::map<uint64_t, Relation>();
+  auto it = cache->find(groups);
+  if (it == cache->end()) {
+    Relation r(Schema({{"key", AttrType::kInt32, 4},
+                       {"value", AttrType::kInt64, 8},
+                       {"pad", AttrType::kFixedChar, 8}}));
+    Rng rng(5);
+    for (int i = 0; i < 4'000'000; ++i) {
+      uint8_t t[20] = {};
+      uint32_t key = uint32_t(rng.NextBounded(groups));
+      int64_t value = int64_t(rng.NextBounded(100));
+      std::memcpy(t, &key, 4);
+      std::memcpy(t + 4, &value, 8);
+      r.Append(t, sizeof(t), HashKey32(key));
+    }
+    it = cache->emplace(groups, std::move(r)).first;
+  }
+  return it->second;
+}
+
+// range(0) = distinct group count; range(1) = G or D.
+void RunAgg(benchmark::State& state, int mode) {
+  uint64_t groups = uint64_t(state.range(0));
+  const Relation& facts = SharedFacts(groups);
+  uint32_t param = uint32_t(state.range(1));
+  RealMemory mm;
+  for (auto _ : state) {
+    state.PauseTiming();
+    HashAggTable agg(NextRelativelyPrime(groups, 31));
+    state.ResumeTiming();
+    switch (mode) {
+      case 0:
+        AggregateBaseline(mm, facts, 4, &agg);
+        break;
+      case 1:
+        AggregateGroup(mm, facts, 4, &agg, param);
+        break;
+      case 2:
+        AggregateSwp(mm, facts, 4, &agg, param);
+        break;
+    }
+    benchmark::DoNotOptimize(agg.num_groups());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(facts.num_tuples()));
+}
+
+void BM_Agg_Baseline(benchmark::State& state) { RunAgg(state, 0); }
+void BM_Agg_Group(benchmark::State& state) { RunAgg(state, 1); }
+void BM_Agg_Swp(benchmark::State& state) { RunAgg(state, 2); }
+
+// {groups, G/D}; keys are uniform 32-bit, so "groups" ~= tuple count
+// for the large setting (mostly-distinct) — the interesting regime.
+BENCHMARK(BM_Agg_Baseline)
+    ->Args({1 << 14, 1})
+    ->Args({1 << 22, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Agg_Group)
+    ->Args({1 << 14, 19})
+    ->Args({1 << 22, 8})
+    ->Args({1 << 22, 19})
+    ->Args({1 << 22, 48})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Agg_Swp)
+    ->Args({1 << 14, 4})
+    ->Args({1 << 22, 2})
+    ->Args({1 << 22, 4})
+    ->Args({1 << 22, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hashjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Real-hardware microbenchmarks (google-benchmark) of the partition
+// phase: baseline / simple / group / software-pipelined prefetching at
+// small and large partition counts. The crossover mirrors Figure 14:
+// with few partitions the output buffers stay cache-resident and simple
+// prefetching suffices; with many, inter-tuple prefetching wins.
+
+#include <benchmark/benchmark.h>
+
+#include "join/partition_kernels.h"
+#include "mem/memory_model.h"
+#include "workload/generator.h"
+
+namespace hashjoin {
+namespace {
+
+const Relation& SharedInput() {
+  static Relation* rel =
+      new Relation(GenerateSourceRelation(1'000'000, 100, 42));
+  return *rel;
+}
+
+void RunPartition(benchmark::State& state, Scheme scheme) {
+  const Relation& input = SharedInput();
+  uint32_t parts = uint32_t(state.range(0));
+  KernelParams params;
+  params.group_size = uint32_t(state.range(1));
+  params.prefetch_distance = uint32_t(state.range(2));
+  RealMemory mm;
+  for (auto _ : state) {
+    std::vector<Relation> dests;
+    dests.reserve(parts);
+    for (uint32_t p = 0; p < parts; ++p) {
+      dests.emplace_back(input.schema());
+    }
+    {
+      PartitionSinkSet sinks(&dests, kDefaultPageSize);
+      PartitionRelation(mm, scheme, input, &sinks, parts, params);
+    }
+    uint64_t total = 0;
+    for (auto& d : dests) total += d.num_tuples();
+    if (total != input.num_tuples()) {
+      state.SkipWithError("partition lost tuples");
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(input.num_tuples()));
+}
+
+void BM_Partition_Baseline(benchmark::State& state) {
+  RunPartition(state, Scheme::kBaseline);
+}
+void BM_Partition_Simple(benchmark::State& state) {
+  RunPartition(state, Scheme::kSimple);
+}
+void BM_Partition_Group(benchmark::State& state) {
+  RunPartition(state, Scheme::kGroup);
+}
+void BM_Partition_Swp(benchmark::State& state) {
+  RunPartition(state, Scheme::kSwp);
+}
+
+// {partitions, G, D}
+BENCHMARK(BM_Partition_Baseline)
+    ->Args({64, 1, 1})
+    ->Args({800, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Partition_Simple)
+    ->Args({64, 1, 1})
+    ->Args({800, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Partition_Group)
+    ->Args({64, 14, 1})
+    ->Args({800, 8, 1})
+    ->Args({800, 14, 1})
+    ->Args({800, 32, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Partition_Swp)
+    ->Args({64, 1, 4})
+    ->Args({800, 1, 2})
+    ->Args({800, 1, 4})
+    ->Args({800, 1, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hashjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Skew tolerance: the prefetching kernels' conflict protocols (§4.4's
+// delayed tuples, §5.3's waiting queues) engage when multiple tuples of
+// a group hit the same bucket. Under Zipf-skewed build keys, conflicts
+// go from negligible to constant; this bench shows the schemes' build
+// times stay close to the baseline's trajectory — the protocols tolerate
+// skew rather than collapsing ("the algorithm can deal with any number
+// of delayed tuples", §4.4).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hashjoin;
+using namespace hashjoin::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Parse(argc, argv);
+  BenchGeometry geo;
+  geo.scale = flags.GetDouble("scale", 0.05);
+  sim::SimConfig cfg;
+  uint64_t tuples = geo.BuildTuples(20);
+
+  std::printf("=== Build-phase skew tolerance (Zipf keys, %llu tuples) "
+              "[scale=%.2f] ===\n\n",
+              (unsigned long long)tuples, geo.scale);
+  std::printf("%-10s %14s %14s %14s\n", "theta", "baseline", "group",
+              "swp");
+
+  KernelParams params;
+  params.group_size = 14;
+  params.prefetch_distance = 2;
+  for (double theta : {0.0, 0.5, 0.8, 0.99, 1.1}) {
+    Relation build =
+        theta == 0.0
+            ? GenerateSourceRelation(tuples, 20, 7)
+            : GenerateSkewedRelation(tuples, 20, theta, tuples / 4, 7);
+    std::printf("%-10.2f", theta);
+    for (Scheme s :
+         {Scheme::kBaseline, Scheme::kGroup, Scheme::kSwp}) {
+      sim::MemorySim simulator(cfg);
+      SimMemory mm(&simulator);
+      HashTable ht(ChooseBucketCount(build.num_tuples(), 31));
+      BuildPartition(mm, s, build, &ht, params);
+      HJ_CHECK(ht.CountTuplesSlow() == build.num_tuples());
+      std::printf(" %14llu",
+                  (unsigned long long)simulator.stats().TotalCycles());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected: group/swp keep a large margin over the baseline at "
+      "every skew level; conflicts add modest serial work, never "
+      "incorrectness\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#ifndef HASHJOIN_EXEC_OPERATOR_H_
+#define HASHJOIN_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace hashjoin {
+namespace exec {
+
+/// A batch of row references flowing between operators. Rows point into
+/// operator-owned storage and stay valid until the producing operator's
+/// next Next() call (or its destruction).
+struct RowBatch {
+  struct Row {
+    const uint8_t* data = nullptr;
+    uint16_t length = 0;
+  };
+
+  std::vector<Row> rows;
+
+  void Clear() { rows.clear(); }
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+};
+
+/// Volcano-style batched operator interface. The batch granularity is
+/// deliberately the prefetching group size: the paper's §5.4 observes
+/// that the join phase can pause at group boundaries and send outputs to
+/// the parent operator, which is exactly what HashJoinOperator does.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator (and its children). Blocking work — e.g.
+  /// draining the build side of a join — happens here.
+  virtual Status Open() = 0;
+
+  /// Produces the next batch. Returns false (with *out left empty) at
+  /// end of stream.
+  virtual bool Next(RowBatch* out) = 0;
+
+  /// Schema of the rows this operator produces.
+  virtual const Schema& output_schema() const = 0;
+};
+
+}  // namespace exec
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_EXEC_OPERATOR_H_

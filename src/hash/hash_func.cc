@@ -1,0 +1,31 @@
+#include "hash/hash_func.h"
+
+#include <cstring>
+
+namespace hashjoin {
+
+uint32_t HashBytes(const void* key, size_t length) {
+  const uint8_t* p = static_cast<const uint8_t*>(key);
+  uint32_t h = 0x811c9dc5u;
+  // Word-at-a-time XOR + rotate, finalized with avalanche shifts.
+  while (length >= 4) {
+    uint32_t w;
+    std::memcpy(&w, p, 4);
+    h ^= w;
+    h = (h << 5) | (h >> 27);
+    h *= 0x9e3779b1u;
+    p += 4;
+    length -= 4;
+  }
+  while (length > 0) {
+    h ^= *p++;
+    h = (h << 5) | (h >> 27);
+    --length;
+  }
+  h ^= h >> 15;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  return h;
+}
+
+}  // namespace hashjoin

@@ -1,0 +1,29 @@
+#ifndef HASHJOIN_HASH_HASH_FUNC_H_
+#define HASHJOIN_HASH_HASH_FUNC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hashjoin {
+
+/// Simple XOR-and-shift hash converting join keys of any length to 4-byte
+/// hash codes (paper §7.1). Hash codes serve two roles: partition number
+/// (code % num_partitions) in the partition phase and bucket number
+/// (code % table_size) in the join phase, so the implementation mixes
+/// bits well in both the low and high halves.
+uint32_t HashBytes(const void* key, size_t length);
+
+/// Fast path for 4-byte integer keys (the experiment schema).
+inline uint32_t HashKey32(uint32_t key) {
+  uint32_t h = key;
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_HASH_HASH_FUNC_H_

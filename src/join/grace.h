@@ -1,0 +1,265 @@
+#ifndef HASHJOIN_JOIN_GRACE_H_
+#define HASHJOIN_JOIN_GRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "join/build_kernels.h"
+#include "join/join_common.h"
+#include "join/partition_kernels.h"
+#include "join/probe_kernels.h"
+#include "mem/memory_model.h"
+#include "model/cost_model.h"
+#include "storage/relation.h"
+#include "util/bitops.h"
+#include "util/timer.h"
+
+namespace hashjoin {
+
+/// Configuration of a full GRACE hash join run.
+struct GraceConfig {
+  /// Memory available to the join phase: a build partition plus its hash
+  /// table must fit (the paper's experiments use 50MB at a 50:1
+  /// memory:cache ratio, §7.1).
+  uint64_t memory_budget = 50ull << 20;
+
+  Scheme partition_scheme = Scheme::kGroup;
+  Scheme join_scheme = Scheme::kGroup;
+  KernelParams partition_params;
+  KernelParams join_params;
+
+  /// Use the §7.4 combined partition scheme (simple prefetching while
+  /// output buffers fit in L2, `partition_scheme` beyond) instead of a
+  /// fixed partition scheme.
+  bool combined_partition = true;
+  uint32_t l2_bytes = 1 << 20;
+
+  /// Cache partitioning comparison modes (§7.5). kDirect generates
+  /// cache-sized partitions straight from the I/O partition phase;
+  /// kTwoStep first makes memory-sized partitions, then re-partitions
+  /// each pair in memory as a join-phase preprocessing step.
+  enum class CacheMode { kNone, kDirect, kTwoStep };
+  CacheMode cache_mode = CacheMode::kNone;
+
+  /// Target size of a cache partition plus its hash table. Somewhat
+  /// below L2 capacity so the working set truly fits.
+  uint64_t cache_budget = 768 * 1024;
+
+  uint32_t page_size = kDefaultPageSize;
+
+  /// Force a partition count (0 = derive from the memory budget).
+  uint32_t forced_num_partitions = 0;
+
+  /// Storage managers handle only limited numbers of concurrently active
+  /// partitions (§7.5 cites "hundreds" for IBM DB2). 0 = unlimited; a
+  /// positive cap triggers multi-pass partitioning when the required
+  /// partition count exceeds it. Supports up to cap² final partitions.
+  uint32_t max_active_partitions = 0;
+};
+
+/// Partition count such that one partition of `data_bytes` total bytes
+/// plus its hash table fits in `budget` bytes.
+uint32_t ComputeNumPartitions(uint64_t num_tuples, uint64_t data_bytes,
+                              uint64_t budget);
+
+/// Hash table bucket count for a partition: close to its tuple count and
+/// relatively prime to the partition count, so bucket assignment stays
+/// uniform although all hash codes in partition p are congruent to p
+/// (§7.1).
+uint64_t ChooseBucketCount(uint64_t partition_tuples,
+                           uint32_t num_partitions);
+
+/// Schema of the join output: build columns followed by probe columns.
+Schema ConcatSchema(const Schema& build, const Schema& probe);
+
+namespace internal_grace {
+
+/// Runs `fn` and returns its wall time plus (for simulated memory
+/// models) the simulator-cycle delta.
+template <typename MM, typename Fn>
+PhaseResult MeasurePhase(MM& mm, Fn&& fn) {
+  PhaseResult r;
+  sim::SimStats before;
+  if constexpr (MM::kSimulated) before = mm.sim()->stats();
+  WallTimer timer;
+  fn();
+  r.wall_seconds = timer.ElapsedSeconds();
+  if constexpr (MM::kSimulated) r.sim = mm.sim()->stats() - before;
+  return r;
+}
+
+}  // namespace internal_grace
+
+namespace internal_grace {
+
+/// Runs one partition pass with the configured scheme.
+template <typename MM>
+void RunOnePass(MM& mm, const GraceConfig& config, const Relation& input,
+                std::vector<Relation>* dests, uint32_t parts,
+                uint32_t divisor) {
+  PartitionSinkSet sinks(dests, config.page_size);
+  if (config.combined_partition) {
+    PartitionCombined(mm, input, &sinks, parts, config.partition_params,
+                      config.l2_bytes, config.partition_scheme, divisor);
+  } else {
+    PartitionRelation(mm, config.partition_scheme, input, &sinks, parts,
+                      config.partition_params, divisor);
+  }
+}
+
+}  // namespace internal_grace
+
+/// Pass structure chosen for a required partition count under an
+/// active-partition cap.
+struct PartitionPlan {
+  uint32_t pass1 = 1;  // coarse partitions (hash % pass1)
+  uint32_t pass2 = 1;  // partitions per coarse one ((hash / pass1) % pass2)
+  uint32_t FinalParts() const { return pass1 * pass2; }
+  bool MultiPass() const { return pass1 > 1 && pass2 > 1; }
+};
+
+/// Splits `wanted` partitions into at most `max_active` active ones per
+/// pass (single pass when it already fits; cap = 0 means unlimited).
+PartitionPlan PlanPartitionPasses(uint32_t wanted, uint32_t max_active);
+
+/// Partitions `input` into plan.FinalParts() partitions, honoring the
+/// active-partition cap via a second in-storage pass when needed
+/// (§7.5's alternative to giving up beyond ~1000 partitions). Final
+/// partition p1 * pass2 + p2 holds tuples with hash % pass1 == p1 and
+/// (hash / pass1) % pass2 == p2 — identical for build and probe, so
+/// pairs still align.
+template <typename MM>
+void PartitionWithPlan(MM& mm, const GraceConfig& config,
+                       const Relation& input, const PartitionPlan& plan,
+                       std::vector<Relation>* out) {
+  out->clear();
+  if (!plan.MultiPass()) {
+    uint32_t parts = plan.FinalParts();
+    for (uint32_t p = 0; p < parts; ++p) {
+      out->emplace_back(input.schema(), config.page_size);
+    }
+    internal_grace::RunOnePass(mm, config, input, out, parts, 1);
+    return;
+  }
+  std::vector<Relation> coarse;
+  for (uint32_t p = 0; p < plan.pass1; ++p) {
+    coarse.emplace_back(input.schema(), config.page_size);
+  }
+  internal_grace::RunOnePass(mm, config, input, &coarse, plan.pass1, 1);
+  for (uint32_t p1 = 0; p1 < plan.pass1; ++p1) {
+    std::vector<Relation> fine;
+    for (uint32_t p2 = 0; p2 < plan.pass2; ++p2) {
+      fine.emplace_back(input.schema(), config.page_size);
+    }
+    internal_grace::RunOnePass(mm, config, coarse[p1], &fine, plan.pass2,
+                               plan.pass1);
+    coarse[p1].Clear();
+    for (auto& f : fine) out->push_back(std::move(f));
+  }
+}
+
+/// Joins one (build partition, probe partition) pair entirely in memory:
+/// builds the hash table with `join_scheme`, then probes. Returns the
+/// number of output tuples appended to `out`.
+template <typename MM>
+uint64_t JoinPartitionPair(MM& mm, Scheme scheme, const Relation& build_part,
+                           const Relation& probe_part,
+                           const KernelParams& params,
+                           uint32_t num_partitions, Relation* out) {
+  if (build_part.num_tuples() == 0 || probe_part.num_tuples() == 0) {
+    return 0;
+  }
+  HashTable ht(ChooseBucketCount(build_part.num_tuples(), num_partitions));
+  BuildPartition(mm, scheme, build_part, &ht, params);
+  return ProbePartition(mm, scheme, probe_part, ht,
+                        build_part.schema().fixed_size(), params, out);
+}
+
+/// The full GRACE hash join (§2): an I/O partition phase dividing both
+/// relations into memory-sized (or cache-sized, for the §7.5 comparison
+/// modes) partitions, followed by a join phase processing each pair with
+/// in-memory hash tables. `output` receives the concatenated result
+/// tuples; pass nullptr to count matches without retaining them.
+template <typename MM>
+JoinResult GraceHashJoin(MM& mm, const Relation& build,
+                         const Relation& probe, const GraceConfig& config,
+                         Relation* output) {
+  JoinResult result;
+
+  // --- sizing ---
+  uint64_t budget = config.memory_budget;
+  if (config.cache_mode == GraceConfig::CacheMode::kDirect) {
+    budget = config.cache_budget;
+  }
+  uint32_t wanted_parts =
+      config.forced_num_partitions != 0
+          ? config.forced_num_partitions
+          : ComputeNumPartitions(build.num_tuples(), build.data_bytes(),
+                                 budget);
+  PartitionPlan plan =
+      PlanPartitionPasses(wanted_parts, config.max_active_partitions);
+  uint32_t num_parts = plan.FinalParts();
+  result.num_partitions = num_parts;
+
+  Relation discard(ConcatSchema(build.schema(), probe.schema()),
+                   config.page_size);
+  Relation* out = output != nullptr ? output : &discard;
+
+  // --- partition phase (both relations) ---
+  std::vector<Relation> build_parts;
+  std::vector<Relation> probe_parts;
+  result.partition_phase = internal_grace::MeasurePhase(mm, [&] {
+    PartitionWithPlan(mm, config, build, plan, &build_parts);
+    PartitionWithPlan(mm, config, probe, plan, &probe_parts);
+  });
+  result.partition_phase.tuples_processed =
+      build.num_tuples() + probe.num_tuples();
+
+  // --- join phase ---
+  result.join_phase = internal_grace::MeasurePhase(mm, [&] {
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      if (config.cache_mode == GraceConfig::CacheMode::kTwoStep) {
+        // Second, in-memory partition pass to cache-sized partitions
+        // (join-phase preprocessing, §7.5 "two-step cache").
+        uint32_t sub_parts = ComputeNumPartitions(
+            build_parts[p].num_tuples(), build_parts[p].data_bytes(),
+            config.cache_budget);
+        std::vector<Relation> sub_build;
+        std::vector<Relation> sub_probe;
+        for (uint32_t s = 0; s < sub_parts; ++s) {
+          sub_build.emplace_back(build.schema(), config.page_size);
+          sub_probe.emplace_back(probe.schema(), config.page_size);
+        }
+        {
+          PartitionSinkSet sinks(&sub_build, config.page_size);
+          PartitionCombined(mm, build_parts[p], &sinks, sub_parts,
+                            config.partition_params, config.l2_bytes,
+                            config.partition_scheme);
+        }
+        {
+          PartitionSinkSet sinks(&sub_probe, config.page_size);
+          PartitionCombined(mm, probe_parts[p], &sinks, sub_parts,
+                            config.partition_params, config.l2_bytes,
+                            config.partition_scheme);
+        }
+        for (uint32_t s = 0; s < sub_parts; ++s) {
+          result.output_tuples += JoinPartitionPair(
+              mm, config.join_scheme, sub_build[s], sub_probe[s],
+              config.join_params, sub_parts, out);
+        }
+      } else {
+        result.output_tuples += JoinPartitionPair(
+            mm, config.join_scheme, build_parts[p], probe_parts[p],
+            config.join_params, num_parts, out);
+      }
+      if (output == nullptr) discard.Clear();
+    }
+  });
+  result.join_phase.tuples_processed =
+      build.num_tuples() + probe.num_tuples();
+  return result;
+}
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_JOIN_GRACE_H_

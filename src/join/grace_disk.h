@@ -1,0 +1,72 @@
+#ifndef HASHJOIN_JOIN_GRACE_DISK_H_
+#define HASHJOIN_JOIN_GRACE_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/buffer_manager.h"
+#include "storage/relation.h"
+
+namespace hashjoin {
+
+/// Wall-clock measurements of one disk-backed phase (the Figure 9
+/// quantities): total elapsed time, the largest per-disk transfer time
+/// ("worker I/O"), and the time the main thread blocked on I/O.
+struct DiskPhaseStats {
+  double elapsed_seconds = 0;
+  double max_disk_seconds = 0;
+  double main_wait_seconds = 0;
+};
+
+/// Result of a full disk-backed join.
+struct DiskJoinResult {
+  DiskPhaseStats partition_phase;  // build relation only, as in Fig 9(a)
+  DiskPhaseStats probe_partition_phase;
+  DiskPhaseStats join_phase;
+  uint64_t output_tuples = 0;
+  uint32_t num_partitions = 0;
+};
+
+/// GRACE hash join over striped page files (§7.2's real-machine setup):
+/// the partition phase streams the input file through the buffer
+/// manager's read-ahead scan, hashes each tuple, copies it into a
+/// per-partition output page, and writes full pages back in the
+/// background; the join phase loads each build partition into a hash
+/// table (reusing the memoized hash codes stored in the partition page
+/// slots) and streams the probe partition against it. CPU work runs on
+/// real memory; I/O runs on the simulated disk array.
+class DiskGraceJoin {
+ public:
+  /// `bm` must outlive this object.
+  DiskGraceJoin(BufferManager* bm, uint32_t num_partitions);
+
+  /// Writes a memory-resident relation out as a striped page file.
+  BufferManager::FileId StoreRelation(const Relation& rel);
+
+  /// Partitions `input` into per-partition files; fills `stats`
+  /// (optional) with this pass's I/O measurements.
+  std::vector<BufferManager::FileId> Partition(BufferManager::FileId input,
+                                               DiskPhaseStats* stats);
+
+  /// Joins partition-file pairs, returning the match count.
+  uint64_t JoinPartitions(
+      const std::vector<BufferManager::FileId>& build_parts,
+      const std::vector<BufferManager::FileId>& probe_parts,
+      DiskPhaseStats* stats);
+
+  /// Full join of two stored relations.
+  DiskJoinResult Join(BufferManager::FileId build,
+                      BufferManager::FileId probe);
+
+ private:
+  template <typename Fn>
+  DiskPhaseStats Measure(Fn&& fn);
+
+  BufferManager* bm_;
+  uint32_t num_partitions_;
+  uint32_t page_size_;
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_JOIN_GRACE_DISK_H_

@@ -1,0 +1,170 @@
+#ifndef HASHJOIN_JOIN_JOIN_COMMON_H_
+#define HASHJOIN_JOIN_JOIN_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "simcache/stats.h"
+#include "storage/relation.h"
+#include "util/aligned.h"
+#include "util/logging.h"
+
+namespace hashjoin {
+
+/// The four CPU-cache strategies the paper compares for both phases
+/// (§7.1): the GRACE baseline, straightforward ("simple") prefetching,
+/// group prefetching (§4), and software-pipelined prefetching (§5).
+enum class Scheme {
+  kBaseline,
+  kSimple,
+  kGroup,
+  kSwp,
+};
+
+const char* SchemeName(Scheme s);
+
+/// How the join phase obtains hash codes: reuse the 4-byte codes the
+/// partition phase memoized in the page slot area (§7.1 optimization), or
+/// recompute them from the join keys (the ablation).
+enum class HashCodeMode {
+  kMemoized,
+  kCompute,
+};
+
+/// Tuning parameters shared by the prefetching kernels.
+struct KernelParams {
+  uint32_t group_size = 19;        // G; the paper's optimum at T=150
+  uint32_t prefetch_distance = 1;  // D; the paper's optimum at T=150
+  HashCodeMode hash_mode = HashCodeMode::kMemoized;
+  /// Prefetch the output tail the emit stage will write (ablatable).
+  bool prefetch_output = true;
+};
+
+/// Per-phase measurement: simulated cycle breakdown (when run against
+/// SimMemory) plus real wall time (always collected).
+struct PhaseResult {
+  sim::SimStats sim;
+  double wall_seconds = 0;
+  uint64_t tuples_processed = 0;
+};
+
+/// Result of a full GRACE hash join.
+struct JoinResult {
+  PhaseResult partition_phase;
+  PhaseResult join_phase;  // includes any in-memory re-partition step
+  uint64_t output_tuples = 0;
+  uint32_t num_partitions = 0;
+};
+
+/// Streams (slot, tuple) pairs over a relation's pages in order. The
+/// kernels use it to pull tuples one at a time regardless of page
+/// boundaries, and to learn when a new input page begins (the simple
+/// prefetching scheme prefetches whole input pages, §6).
+class TupleCursor {
+ public:
+  explicit TupleCursor(const Relation& rel) : rel_(&rel) {}
+
+  /// Advances to the next tuple. Returns false at end of relation.
+  /// `*new_page` (optional) is set true when this tuple is the first of
+  /// a page.
+  bool Next(const SlottedPage::Slot** slot, const uint8_t** tuple,
+            bool* new_page = nullptr) {
+    while (true) {
+      if (page_index_ >= rel_->num_pages()) return false;
+      const SlottedPage page = rel_->page(page_index_);
+      if (slot_index_ >= page.slot_count()) {
+        ++page_index_;
+        slot_index_ = 0;
+        continue;
+      }
+      if (new_page != nullptr) *new_page = (slot_index_ == 0);
+      const SlottedPage::Slot* s = page.GetSlot(slot_index_);
+      *slot = s;
+      *tuple = page.data() + s->offset;
+      ++slot_index_;
+      return true;
+    }
+  }
+
+  /// Base address and size of the current page (for page prefetching).
+  const uint8_t* CurrentPageData() const {
+    return rel_->page(page_index_).data();
+  }
+  uint32_t page_size() const { return rel_->page_size(); }
+
+ private:
+  const Relation* rel_;
+  size_t page_index_ = 0;
+  int slot_index_ = 0;
+};
+
+/// Join-output staging buffer: emissions land in one recycled page-sized
+/// buffer; full pages are handed off to the destination relation by an
+/// uncharged copy, modeling the paper's pipelined query processing where
+/// output buffers are sent to the parent operator (or disk) and reused.
+/// Reuse keeps the output working set cache-resident, so — like the
+/// paper's machine — the join phase's cache misses are dominated by hash
+/// table visits, not by output stores.
+class OutputSink {
+ public:
+  explicit OutputSink(Relation* dest)
+      : dest_(dest), page_size_(dest->page_size()) {
+    buffer_ = MakeAlignedBuffer<uint8_t>(page_size_, page_size_);
+    view_ = SlottedPage::Format(buffer_.get(), page_size_);
+  }
+
+  OutputSink(const OutputSink&) = delete;
+  OutputSink& operator=(const OutputSink&) = delete;
+
+  /// Reserves space for one output tuple in the staging buffer, writing
+  /// out the buffer first if full.
+  uint8_t* Alloc(uint16_t length) {
+    uint8_t* dst = view_.AllocTuple(length, 0, nullptr);
+    if (dst == nullptr) {
+      Flush();
+      dst = view_.AllocTuple(length, 0, nullptr);
+      HJ_CHECK(dst != nullptr) << "output tuple larger than a page";
+    }
+    return dst;
+  }
+
+  /// Where the next Alloc will land (prefetch hint).
+  const uint8_t* PeekAddr() const {
+    return buffer_.get() +
+           reinterpret_cast<const SlottedPage::PageHeader*>(buffer_.get())
+               ->free_offset;
+  }
+
+  /// Sends the partial buffer to the destination (end of a probe pass).
+  void Final() {
+    if (view_.slot_count() > 0) Flush();
+  }
+
+ private:
+  void Flush() {
+    dest_->AppendCopiedPage(buffer_.get());
+    view_ = SlottedPage::Format(buffer_.get(), page_size_);
+  }
+
+  Relation* dest_;
+  uint32_t page_size_;
+  AlignedBuffer<uint8_t> buffer_;
+  SlottedPage view_;
+};
+
+/// Branch-site ids used with the memory model's branch predictor; one id
+/// per static conditional in the kernels.
+enum BranchSite : uint32_t {
+  kBranchBucketEmpty = 1,
+  kBranchInlineHashMatch,
+  kBranchHasArray,
+  kBranchCellHashMatch,
+  kBranchKeyEqual,
+  kBranchBucketBusy,
+  kBranchBufferFull,
+  kBranchStateDispatch,
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_JOIN_JOIN_COMMON_H_

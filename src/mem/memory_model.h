@@ -1,0 +1,73 @@
+#ifndef HASHJOIN_MEM_MEMORY_MODEL_H_
+#define HASHJOIN_MEM_MEMORY_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mem/prefetch.h"
+#include "simcache/memory_sim.h"
+#include "simcache/sim_config.h"
+
+namespace hashjoin {
+
+/// The join and partition kernels are templated over a *memory model*
+/// policy with this interface:
+///
+///   void Busy(uint32_t cycles);            // charge computation time
+///   void Read(const void* p, size_t n);    // demand read reference
+///   void Write(const void* p, size_t n);   // demand write reference
+///   void Prefetch(const void* p, size_t n);// software prefetch
+///   void Branch(uint32_t site, bool taken);// conditional outcome
+///   const sim::SimConfig& config();        // cost constants
+///   static constexpr bool kSimulated;
+///
+/// With RealMemory the policy compiles down to the bare prefetch
+/// intrinsics (everything else is a no-op the optimizer removes), so the
+/// same kernel body serves real-hardware benchmarking. With SimMemory the
+/// event stream drives the simcache model and yields the paper's cycle
+/// breakdowns.
+struct RealMemory {
+  static constexpr bool kSimulated = false;
+
+  void Busy(uint32_t) {}
+  void Read(const void*, size_t) {}
+  void Write(const void*, size_t) {}
+  void Prefetch(const void* p, size_t n = 1) {
+    if (n <= kCacheLineSize) {
+      PrefetchRead(p);
+    } else {
+      PrefetchRange(p, n);
+    }
+  }
+  void Branch(uint32_t, bool) {}
+
+  const sim::SimConfig& config() const {
+    static const sim::SimConfig kDefault{};
+    return kDefault;
+  }
+};
+
+/// Adapter feeding the kernels' event stream into a MemorySim.
+class SimMemory {
+ public:
+  static constexpr bool kSimulated = true;
+
+  explicit SimMemory(sim::MemorySim* sim) : sim_(sim) {}
+
+  void Busy(uint32_t cycles) { sim_->Busy(cycles); }
+  void Read(const void* p, size_t n) { sim_->Access(p, n, /*write=*/false); }
+  void Write(const void* p, size_t n) { sim_->Access(p, n, /*write=*/true); }
+  void Prefetch(const void* p, size_t n = 1) { sim_->Prefetch(p, n); }
+  void Branch(uint32_t site, bool taken) { sim_->Branch(site, taken); }
+
+  const sim::SimConfig& config() const { return sim_->config(); }
+
+  sim::MemorySim* sim() const { return sim_; }
+
+ private:
+  sim::MemorySim* sim_;
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_MEM_MEMORY_MODEL_H_

@@ -1,0 +1,42 @@
+#ifndef HASHJOIN_MEM_PREFETCH_H_
+#define HASHJOIN_MEM_PREFETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/aligned.h"
+
+namespace hashjoin {
+
+/// Portable wrapper around the non-binding software prefetch instruction.
+/// On the paper's platform this was a gcc inline-asm Alpha prefetch; here we
+/// use __builtin_prefetch which lowers to PREFETCHT0 on x86.
+inline void PrefetchRead(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+/// Prefetch with write intent (PREFETCHW where available).
+inline void PrefetchWrite(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/1, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+/// Prefetches every cache line of [addr, addr+bytes). Used by the simple
+/// prefetching scheme, e.g. to pull a whole input page into cache after a
+/// disk read (paper section 6).
+inline void PrefetchRange(const void* addr, size_t bytes) {
+  const char* p = static_cast<const char*>(addr);
+  const char* end = p + bytes;
+  for (; p < end; p += kCacheLineSize) PrefetchRead(p);
+}
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_MEM_PREFETCH_H_

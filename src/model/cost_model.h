@@ -1,0 +1,91 @@
+#ifndef HASHJOIN_MODEL_COST_MODEL_H_
+#define HASHJOIN_MODEL_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hashjoin {
+namespace model {
+
+/// Machine parameters of the generalized prefetching models (Table 1):
+/// T is the full latency of a cache miss; Tnext the additional latency of
+/// a pipelined miss (the inverse of memory bandwidth).
+struct MachineParams {
+  uint32_t full_latency = 150;    // T
+  uint32_t bandwidth_gap = 10;    // Tnext
+};
+
+/// Per-stage execution times C0..Ck of the processing of one element,
+/// split at its k dependent memory references (Figure 3(c)).
+struct CodeCosts {
+  std::vector<uint32_t> c;  // size k+1; c[i] == Ci
+
+  uint32_t k() const { return uint32_t(c.size()) - 1; }
+};
+
+/// Generalized model of group prefetching (§4.2, §4.3, Theorem 1).
+class GroupPrefetchModel {
+ public:
+  /// Theorem 1's sufficient condition for fully hiding all cache miss
+  /// latencies at group size G:
+  ///   (G-1) * C0 >= T   and   (G-1) * max{Ci, Tnext} >= T, i = 1..k.
+  static bool ConditionHolds(const CodeCosts& costs,
+                             const MachineParams& machine, uint32_t group);
+
+  /// Smallest G satisfying Theorem 1, or 0 if none <= max_group exists
+  /// (e.g. C0 == 0, where the first miss can never be hidden; §5.4).
+  /// The paper picks the smallest feasible G to minimize the number of
+  /// concurrent prefetches and hence conflict misses (§4.2).
+  static uint32_t MinGroupSize(const CodeCosts& costs,
+                               const MachineParams& machine,
+                               uint32_t max_group = 4096);
+
+  /// Evaluates the critical path of processing `num_elements` elements
+  /// (Figure 4's DAG: instruction-flow, latency, and bandwidth edges),
+  /// assuming every memory reference misses. Used to predict runtimes
+  /// and to validate Theorem 1 (when the condition holds, the latency
+  /// edges never bind and runtime is busy-time only).
+  static uint64_t CriticalPathCycles(const CodeCosts& costs,
+                                     const MachineParams& machine,
+                                     uint32_t group, uint64_t num_elements,
+                                     uint32_t prefetch_issue_cost = 1);
+};
+
+/// Generalized model of software-pipelined prefetching (§5.1, §5.2,
+/// Theorem 2).
+class SwpPrefetchModel {
+ public:
+  /// Theorem 2's sufficient condition at prefetch distance D:
+  ///   D * (max{C0+Ck, Tnext} + sum_{i=1..k-1} max{Ci, Tnext}) >= T.
+  static bool ConditionHolds(const CodeCosts& costs,
+                             const MachineParams& machine,
+                             uint32_t distance);
+
+  /// Smallest D satisfying Theorem 2 (always exists; §5.1). The smallest
+  /// feasible D minimizes concurrent prefetches, like G above.
+  static uint32_t MinDistance(const CodeCosts& costs,
+                              const MachineParams& machine,
+                              uint32_t max_distance = 4096);
+
+  /// Size of the circular state array the implementation needs: the
+  /// smallest power of two >= k*D + 1 (§5.3).
+  static uint32_t StateArraySize(uint32_t k, uint32_t distance);
+
+  /// Critical path of the steady-state pipeline over `num_elements`
+  /// elements (Figure 8's DAG), assuming every reference misses.
+  static uint64_t CriticalPathCycles(const CodeCosts& costs,
+                                     const MachineParams& machine,
+                                     uint32_t distance,
+                                     uint64_t num_elements,
+                                     uint32_t prefetch_issue_cost = 1);
+};
+
+/// Exposed cache-miss cycles of the naive one-element-per-iteration loop
+/// (Figure 3(c)): every one of the k references stalls for T.
+uint64_t BaselineCycles(const CodeCosts& costs, const MachineParams& machine,
+                        uint64_t num_elements);
+
+}  // namespace model
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_MODEL_COST_MODEL_H_

@@ -1,0 +1,88 @@
+#include "simcache/cache.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace hashjoin {
+namespace sim {
+
+SetAssocCache::SetAssocCache(uint32_t size, uint32_t assoc,
+                             uint32_t line_size)
+    : line_size_(line_size), assoc_(assoc) {
+  HJ_CHECK(size % (assoc * line_size) == 0)
+      << "cache size must be a multiple of assoc * line_size";
+  num_sets_ = size / (assoc * line_size);
+  HJ_CHECK(IsPowerOfTwo(num_sets_));
+  ways_.resize(static_cast<size_t>(num_sets_) * assoc_);
+}
+
+SetAssocCache::LineInfo* SetAssocCache::Lookup(uint64_t line_addr) {
+  Way* set = &ways_[static_cast<size_t>(SetIndex(line_addr)) * assoc_];
+  for (uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) {
+      set[w].lru = ++lru_clock_;
+      ++hits_;
+      return &set[w].info;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+SetAssocCache::LineInfo* SetAssocCache::Insert(uint64_t line_addr) {
+  Way* set = &ways_[static_cast<size_t>(SetIndex(line_addr)) * assoc_];
+  for (uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) {
+      // Refill of a resident line: keep position, reset metadata.
+      set[w].lru = ++lru_clock_;
+      set[w].info = LineInfo{};
+      return &set[w].info;
+    }
+  }
+  // Prefer an invalid way; otherwise evict the least recently used.
+  Way* victim = nullptr;
+  for (uint32_t w = 0; w < assoc_; ++w) {
+    if (!set[w].valid) {
+      victim = &set[w];
+      break;
+    }
+    if (victim == nullptr || set[w].lru < victim->lru) victim = &set[w];
+  }
+  HJ_DCHECK(victim != nullptr);
+  if (victim->valid && victim->info.prefetched && !victim->info.referenced) {
+    ++evicted_before_use_;
+  }
+  victim->valid = true;
+  victim->tag = line_addr;
+  victim->lru = ++lru_clock_;
+  victim->info = LineInfo{};
+  return &victim->info;
+}
+
+void SetAssocCache::Flush() {
+  for (Way& w : ways_) w.valid = false;
+}
+
+void SetAssocCache::Invalidate(uint64_t line_addr) {
+  Way* set = &ways_[static_cast<size_t>(SetIndex(line_addr)) * assoc_];
+  for (uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) set[w].valid = false;
+  }
+}
+
+void SetAssocCache::RebaseTime(uint64_t base) {
+  for (Way& w : ways_) {
+    if (!w.valid) continue;
+    w.info.ready_time =
+        w.info.ready_time > base ? w.info.ready_time - base : 0;
+  }
+}
+
+void SetAssocCache::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+  evicted_before_use_ = 0;
+}
+
+}  // namespace sim
+}  // namespace hashjoin

@@ -1,0 +1,81 @@
+#ifndef HASHJOIN_SIMCACHE_CACHE_H_
+#define HASHJOIN_SIMCACHE_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hashjoin {
+namespace sim {
+
+/// A set-associative cache model with true-LRU replacement. Tag-only:
+/// it tracks which line addresses are resident, not their contents (the
+/// kernels operate on real memory; the simulator only accounts time).
+class SetAssocCache {
+ public:
+  /// Metadata carried per resident line; used to classify conflict
+  /// evictions of prefetched-but-not-yet-referenced lines.
+  struct LineInfo {
+    uint64_t ready_time = 0;   // cycle when a prefetched line arrives
+    bool prefetched = false;   // brought in by a prefetch
+    bool referenced = false;   // demanded at least once since fill
+  };
+
+  /// Builds a cache of `size` bytes, `assoc` ways, `line_size`-byte lines.
+  /// size must be divisible by assoc * line_size.
+  SetAssocCache(uint32_t size, uint32_t assoc, uint32_t line_size);
+
+  /// Looks up the line containing `line_addr` (already line-aligned).
+  /// Returns the line's metadata and promotes it to MRU, or nullptr on
+  /// miss. Does not fill.
+  LineInfo* Lookup(uint64_t line_addr);
+
+  /// Inserts a line (evicting LRU if needed) and returns its metadata.
+  /// If an unreferenced prefetched line is evicted, bumps
+  /// evicted_before_use().
+  LineInfo* Insert(uint64_t line_addr);
+
+  /// Invalidates every line (the Figure-18 interference model).
+  void Flush();
+
+  /// Evicts one specific line if present (used by tests).
+  void Invalidate(uint64_t line_addr);
+
+  /// Shifts every resident line's ready_time down by `base` (clamped at
+  /// zero) — used when the simulator re-bases its clock.
+  void RebaseTime(uint64_t base);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evicted_before_use() const { return evicted_before_use_; }
+  uint32_t num_sets() const { return num_sets_; }
+  uint32_t assoc() const { return assoc_; }
+
+  void ResetStats();
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    bool valid = false;
+    uint64_t lru = 0;  // larger = more recently used
+    LineInfo info;
+  };
+
+  uint32_t SetIndex(uint64_t line_addr) const {
+    return static_cast<uint32_t>((line_addr / line_size_) % num_sets_);
+  }
+
+  uint32_t line_size_;
+  uint32_t assoc_;
+  uint32_t num_sets_;
+  uint64_t lru_clock_ = 0;
+  std::vector<Way> ways_;  // num_sets_ * assoc_, set-major
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evicted_before_use_ = 0;
+};
+
+}  // namespace sim
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_SIMCACHE_CACHE_H_

@@ -1,0 +1,212 @@
+#include "simcache/memory_sim.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hashjoin {
+namespace sim {
+
+MemorySim::MemorySim(const SimConfig& config)
+    : config_(config),
+      l1_(config.l1d_size, config.l1d_assoc, config.line_size),
+      l2_(config.l2_size, config.l2_assoc, config.line_size),
+      tlb_(config.dtlb_entries, config.page_size) {
+  if (config_.flush_period_cycles > 0) {
+    next_flush_ = config_.flush_period_cycles;
+  }
+}
+
+void MemorySim::Busy(uint32_t cycles) {
+  now_ += cycles;
+  stats_.busy_cycles += cycles;
+}
+
+void MemorySim::StallUntil(uint64_t t, uint64_t* bucket) {
+  if (t <= now_) return;
+  *bucket += t - now_;
+  now_ = t;
+}
+
+void MemorySim::MaybePeriodicFlush() {
+  if (next_flush_ == 0) return;
+  while (now_ >= next_flush_) {
+    l1_.Flush();
+    l2_.Flush();
+    tlb_.Flush();
+    next_flush_ += config_.flush_period_cycles;
+  }
+}
+
+uint64_t MemorySim::IssueMemoryRequest() {
+  uint64_t start = std::max(now_, next_bus_free_);
+  // Retire handlers whose transfers completed before this request starts.
+  while (!outstanding_.empty() && outstanding_.front() <= start) {
+    outstanding_.pop_front();
+  }
+  // All handlers busy: the request waits for the earliest to retire.
+  if (outstanding_.size() >= config_.miss_handlers) {
+    start = std::max(start, outstanding_.front());
+    outstanding_.pop_front();
+  }
+  uint64_t completion = start + config_.memory_latency;
+  next_bus_free_ = start + config_.memory_bandwidth_gap;
+  outstanding_.push_back(completion);
+  return completion;
+}
+
+void MemorySim::AccessLine(uint64_t line_addr, bool write) {
+  MaybePeriodicFlush();
+
+  // Hardware-walked TLB; demand misses expose the walk latency.
+  if (!tlb_.Lookup(line_addr)) {
+    ++stats_.tlb_misses;
+    StallUntil(now_ + config_.tlb_miss_latency, &stats_.dtlb_stall_cycles);
+    tlb_.Insert(line_addr);
+  }
+
+  if (SetAssocCache::LineInfo* info = l1_.Lookup(line_addr)) {
+    if (info->prefetched && !info->referenced) {
+      // First demand touch of a prefetched line.
+      if (info->ready_time > now_) {
+        ++stats_.prefetch_partial;
+        StallUntil(info->ready_time, &stats_.dcache_stall_cycles);
+      } else {
+        ++stats_.prefetch_hidden;
+      }
+    } else {
+      if (info->ready_time > now_) {
+        StallUntil(info->ready_time, &stats_.dcache_stall_cycles);
+      }
+      ++stats_.l1_hits;
+    }
+    info->referenced = true;
+    return;
+  }
+
+  if (SetAssocCache::LineInfo* info2 = l2_.Lookup(line_addr)) {
+    // L1 miss, L2 hit: expose L2 latency (plus any in-flight remainder if
+    // the line was prefetched into L2 and is still on its way).
+    uint64_t ready = std::max(now_ + config_.l2_hit_latency,
+                              info2->ready_time + config_.l2_hit_latency);
+    bool was_prefetch = info2->prefetched && !info2->referenced;
+    info2->referenced = true;
+    if (was_prefetch) {
+      if (info2->ready_time > now_) {
+        ++stats_.prefetch_partial;
+      } else {
+        ++stats_.l2_hits;
+      }
+    } else {
+      ++stats_.l2_hits;
+    }
+    StallUntil(ready, &stats_.dcache_stall_cycles);
+    SetAssocCache::LineInfo* fill = l1_.Insert(line_addr);
+    fill->referenced = true;
+    return;
+  }
+
+  // Full miss to main memory.
+  ++stats_.full_misses;
+  uint64_t completion = IssueMemoryRequest();
+  StallUntil(completion, &stats_.dcache_stall_cycles);
+  SetAssocCache::LineInfo* fill2 = l2_.Insert(line_addr);
+  fill2->referenced = true;
+  SetAssocCache::LineInfo* fill1 = l1_.Insert(line_addr);
+  fill1->referenced = true;
+}
+
+void MemorySim::PrefetchLine(uint64_t line_addr) {
+  MaybePeriodicFlush();
+  ++stats_.prefetches_issued;
+  stats_.busy_cycles += config_.cost_prefetch_issue;
+  now_ += config_.cost_prefetch_issue;
+
+  // TLB prefetch: install without a demand stall (paper §2, §7.1).
+  if (!tlb_.Lookup(line_addr)) tlb_.Insert(line_addr);
+
+  if (l1_.Lookup(line_addr) != nullptr) return;  // already resident
+
+  if (SetAssocCache::LineInfo* info2 = l2_.Lookup(line_addr)) {
+    // L2 -> L1 prefetch: arrives after the L2 hit latency.
+    uint64_t ready = std::max(now_ + config_.l2_hit_latency,
+                              info2->ready_time + config_.l2_hit_latency);
+    SetAssocCache::LineInfo* fill = l1_.Insert(line_addr);
+    fill->prefetched = true;
+    fill->ready_time = ready;
+    return;
+  }
+
+  uint64_t completion = IssueMemoryRequest();
+  SetAssocCache::LineInfo* fill2 = l2_.Insert(line_addr);
+  fill2->prefetched = true;
+  fill2->ready_time = completion;
+  SetAssocCache::LineInfo* fill1 = l1_.Insert(line_addr);
+  fill1->prefetched = true;
+  fill1->ready_time = completion;
+}
+
+void MemorySim::Access(const void* addr, size_t size, bool write) {
+  uint64_t a = reinterpret_cast<uint64_t>(addr);
+  uint64_t first = a / config_.line_size;
+  uint64_t last = (a + (size == 0 ? 0 : size - 1)) / config_.line_size;
+  for (uint64_t line = first; line <= last; ++line) {
+    AccessLine(line * config_.line_size, write);
+  }
+}
+
+void MemorySim::Prefetch(const void* addr, size_t size) {
+  uint64_t a = reinterpret_cast<uint64_t>(addr);
+  uint64_t first = a / config_.line_size;
+  uint64_t last = (a + (size == 0 ? 0 : size - 1)) / config_.line_size;
+  for (uint64_t line = first; line <= last; ++line) {
+    PrefetchLine(line * config_.line_size);
+  }
+}
+
+void MemorySim::Branch(uint32_t site, bool taken) {
+  if (predictor_.RecordCounting(site, taken)) {
+    ++stats_.branch_mispredicts;
+    StallUntil(now_ + config_.branch_mispredict_penalty,
+               &stats_.other_stall_cycles);
+  }
+}
+
+SimStats MemorySim::stats() const {
+  SimStats s = stats_;
+  // L1 conflict victims: prefetched lines evicted before their first
+  // demand touch (the paper's Figure 13/17 "cache conflict" pathology).
+  s.prefetch_evicted_before_use = l1_.evicted_before_use();
+  s.branch_mispredicts = predictor_.mispredicts();
+  return s;
+}
+
+void MemorySim::ResetStats() {
+  stats_ = SimStats{};
+  l1_.ResetStats();
+  l2_.ResetStats();
+  tlb_.ResetStats();
+  // Re-base time so the cycle buckets partition elapsed time from here.
+  // Outstanding transfers and cache contents are preserved (including
+  // in-flight prefetched lines, whose arrival times shift with the
+  // clock).
+  uint64_t base = now_;
+  now_ = 0;
+  next_bus_free_ = next_bus_free_ > base ? next_bus_free_ - base : 0;
+  for (auto& c : outstanding_) c = c > base ? c - base : 0;
+  l1_.RebaseTime(base);
+  l2_.RebaseTime(base);
+  if (next_flush_ > 0) {
+    next_flush_ = next_flush_ > base ? next_flush_ - base
+                                     : config_.flush_period_cycles;
+  }
+}
+
+void MemorySim::FlushAll() {
+  l1_.Flush();
+  l2_.Flush();
+  tlb_.Flush();
+}
+
+}  // namespace sim
+}  // namespace hashjoin

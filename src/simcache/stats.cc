@@ -1,0 +1,72 @@
+#include "simcache/stats.h"
+
+#include <cstdio>
+
+namespace hashjoin {
+namespace sim {
+
+SimStats& SimStats::operator+=(const SimStats& o) {
+  busy_cycles += o.busy_cycles;
+  dcache_stall_cycles += o.dcache_stall_cycles;
+  dtlb_stall_cycles += o.dtlb_stall_cycles;
+  other_stall_cycles += o.other_stall_cycles;
+  l1_hits += o.l1_hits;
+  l2_hits += o.l2_hits;
+  full_misses += o.full_misses;
+  prefetch_hidden += o.prefetch_hidden;
+  prefetch_partial += o.prefetch_partial;
+  tlb_misses += o.tlb_misses;
+  prefetches_issued += o.prefetches_issued;
+  prefetch_evicted_before_use += o.prefetch_evicted_before_use;
+  branch_mispredicts += o.branch_mispredicts;
+  return *this;
+}
+
+SimStats SimStats::operator-(const SimStats& o) const {
+  SimStats r = *this;
+  r.busy_cycles -= o.busy_cycles;
+  r.dcache_stall_cycles -= o.dcache_stall_cycles;
+  r.dtlb_stall_cycles -= o.dtlb_stall_cycles;
+  r.other_stall_cycles -= o.other_stall_cycles;
+  r.l1_hits -= o.l1_hits;
+  r.l2_hits -= o.l2_hits;
+  r.full_misses -= o.full_misses;
+  r.prefetch_hidden -= o.prefetch_hidden;
+  r.prefetch_partial -= o.prefetch_partial;
+  r.tlb_misses -= o.tlb_misses;
+  r.prefetches_issued -= o.prefetches_issued;
+  r.prefetch_evicted_before_use -= o.prefetch_evicted_before_use;
+  r.branch_mispredicts -= o.branch_mispredicts;
+  return r;
+}
+
+std::string SimStats::ToString() const {
+  char buf[1024];
+  uint64_t total = TotalCycles();
+  auto pct = [&](uint64_t v) {
+    return total == 0 ? 0.0 : 100.0 * double(v) / double(total);
+  };
+  std::snprintf(
+      buf, sizeof(buf),
+      "cycles total=%llu busy=%llu (%.1f%%) dcache=%llu (%.1f%%) "
+      "dtlb=%llu (%.1f%%) other=%llu (%.1f%%)\n"
+      "lines: l1_hit=%llu l2_hit=%llu full_miss=%llu pf_hidden=%llu "
+      "pf_partial=%llu tlb_miss=%llu\n"
+      "prefetch: issued=%llu evicted_before_use=%llu "
+      "branch_mispredicts=%llu",
+      (unsigned long long)total, (unsigned long long)busy_cycles,
+      pct(busy_cycles), (unsigned long long)dcache_stall_cycles,
+      pct(dcache_stall_cycles), (unsigned long long)dtlb_stall_cycles,
+      pct(dtlb_stall_cycles), (unsigned long long)other_stall_cycles,
+      pct(other_stall_cycles), (unsigned long long)l1_hits,
+      (unsigned long long)l2_hits, (unsigned long long)full_misses,
+      (unsigned long long)prefetch_hidden,
+      (unsigned long long)prefetch_partial, (unsigned long long)tlb_misses,
+      (unsigned long long)prefetches_issued,
+      (unsigned long long)prefetch_evicted_before_use,
+      (unsigned long long)branch_mispredicts);
+  return std::string(buf);
+}
+
+}  // namespace sim
+}  // namespace hashjoin

@@ -1,0 +1,58 @@
+#ifndef HASHJOIN_SIMCACHE_STATS_H_
+#define HASHJOIN_SIMCACHE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hashjoin {
+namespace sim {
+
+/// Cycle and event counters accumulated by MemorySim. The four cycle
+/// buckets partition total simulated time exactly (an invariant the tests
+/// assert), mirroring the paper's breakdown bars: busy time, data cache
+/// stalls, TLB miss stalls, and other stalls (Figures 1, 11, 15).
+struct SimStats {
+  // --- cycle buckets ---
+  uint64_t busy_cycles = 0;
+  uint64_t dcache_stall_cycles = 0;
+  uint64_t dtlb_stall_cycles = 0;
+  uint64_t other_stall_cycles = 0;
+
+  uint64_t TotalCycles() const {
+    return busy_cycles + dcache_stall_cycles + dtlb_stall_cycles +
+           other_stall_cycles;
+  }
+
+  // --- demand access classification (per cache line touched) ---
+  uint64_t l1_hits = 0;        // plain L1 hits (line was already ready)
+  uint64_t l2_hits = 0;        // L1 miss, L2 hit
+  uint64_t full_misses = 0;    // missed both caches, full latency exposed
+  uint64_t prefetch_hidden = 0;   // prefetched line, latency fully hidden
+  uint64_t prefetch_partial = 0;  // prefetched line, arrived late
+  uint64_t tlb_misses = 0;        // demand TLB misses (charged stalls)
+
+  // --- prefetch traffic ---
+  uint64_t prefetches_issued = 0;
+  uint64_t prefetch_evicted_before_use = 0;  // conflict victims (Fig 13/17)
+
+  // --- control flow ---
+  uint64_t branch_mispredicts = 0;
+
+  uint64_t DemandLineAccesses() const {
+    return l1_hits + l2_hits + full_misses + prefetch_hidden +
+           prefetch_partial;
+  }
+
+  SimStats& operator+=(const SimStats& o);
+
+  /// Counter-wise difference (for windowed measurements: after - before).
+  SimStats operator-(const SimStats& o) const;
+
+  /// Multi-line human-readable report used by the bench binaries.
+  std::string ToString() const;
+};
+
+}  // namespace sim
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_SIMCACHE_STATS_H_

@@ -1,0 +1,58 @@
+#include "simcache/tlb.h"
+
+#include "util/logging.h"
+
+namespace hashjoin {
+namespace sim {
+
+Tlb::Tlb(uint32_t entries, uint32_t page_size) : page_size_(page_size) {
+  HJ_CHECK(entries > 0);
+  HJ_CHECK(page_size > 0);
+  entries_.resize(entries);
+}
+
+bool Tlb::Lookup(uint64_t addr) {
+  uint64_t page = PageOf(addr);
+  for (Entry& e : entries_) {
+    if (e.valid && e.page == page) {
+      e.lru = ++lru_clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+void Tlb::Insert(uint64_t addr) {
+  uint64_t page = PageOf(addr);
+  for (Entry& e : entries_) {
+    if (e.valid && e.page == page) {
+      e.lru = ++lru_clock_;
+      return;
+    }
+  }
+  Entry* victim = nullptr;
+  for (Entry& e : entries_) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (victim == nullptr || e.lru < victim->lru) victim = &e;
+  }
+  victim->valid = true;
+  victim->page = page;
+  victim->lru = ++lru_clock_;
+}
+
+void Tlb::Flush() {
+  for (Entry& e : entries_) e.valid = false;
+}
+
+void Tlb::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace sim
+}  // namespace hashjoin

@@ -1,0 +1,50 @@
+#ifndef HASHJOIN_SIMCACHE_TLB_H_
+#define HASHJOIN_SIMCACHE_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hashjoin {
+namespace sim {
+
+/// Fully-associative data TLB with true-LRU replacement (64 entries over
+/// 8KB pages in the paper's Table 2). Hardware-walked: a miss costs a
+/// fixed penalty and installs the entry; prefetch-induced fills install
+/// the entry without charging a demand stall (TLB prefetching, paper §2).
+class Tlb {
+ public:
+  Tlb(uint32_t entries, uint32_t page_size);
+
+  /// True if the page containing addr is mapped; promotes to MRU.
+  bool Lookup(uint64_t addr);
+
+  /// Installs the page containing addr (evicting LRU if full).
+  void Insert(uint64_t addr);
+
+  /// Drops every entry.
+  void Flush();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetStats();
+
+ private:
+  struct Entry {
+    uint64_t page = 0;
+    bool valid = false;
+    uint64_t lru = 0;
+  };
+
+  uint64_t PageOf(uint64_t addr) const { return addr / page_size_; }
+
+  uint32_t page_size_;
+  uint64_t lru_clock_ = 0;
+  std::vector<Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace sim
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_SIMCACHE_TLB_H_

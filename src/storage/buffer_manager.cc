@@ -1,0 +1,199 @@
+#include "storage/buffer_manager.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace hashjoin {
+
+BufferManager::BufferManager(const BufferManagerConfig& config)
+    : config_(config) {
+  HJ_CHECK(config_.num_disks >= 1);
+  HJ_CHECK(config_.stripe_unit_pages >= 1);
+  HJ_CHECK(config_.io_prefetch_depth >= 1);
+  for (uint32_t d = 0; d < config_.num_disks; ++d) {
+    auto w = std::make_unique<DiskWorker>();
+    w->disk = std::make_unique<SimulatedDisk>(config_.disk);
+    disks_.push_back(std::move(w));
+  }
+  for (auto& w : disks_) {
+    w->thread = std::thread([this, worker = w.get()] { WorkerLoop(worker); });
+  }
+}
+
+BufferManager::~BufferManager() {
+  for (auto& w : disks_) {
+    auto stop = std::make_unique<Request>();
+    stop->type = Request::Type::kStop;
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->queue.push_back(std::move(stop));
+    }
+    w->cv.notify_one();
+  }
+  for (auto& w : disks_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void BufferManager::WorkerLoop(DiskWorker* w) {
+  for (;;) {
+    std::unique_ptr<Request> req;
+    {
+      std::unique_lock<std::mutex> lock(w->mu);
+      w->cv.wait(lock, [&] { return !w->queue.empty(); });
+      req = std::move(w->queue.front());
+      w->queue.pop_front();
+    }
+    switch (req->type) {
+      case Request::Type::kStop:
+        return;
+      case Request::Type::kRead:
+        req->done.set_value(w->disk->ReadPage(req->disk_page, req->read_dst));
+        break;
+      case Request::Type::kWrite: {
+        Status s = w->disk->WritePage(req->disk_page, req->write_data.get());
+        req->done.set_value(std::move(s));
+        uint64_t left = pending_writes_.fetch_sub(1) - 1;
+        if (left == 0) {
+          std::lock_guard<std::mutex> lock(writes_mu_);
+          writes_cv_.notify_all();
+        }
+        break;
+      }
+    }
+  }
+}
+
+BufferManager::FileId BufferManager::CreateFile() {
+  std::lock_guard<std::mutex> lock(files_mu_);
+  files_.emplace_back();
+  return FileId(files_.size() - 1);
+}
+
+uint64_t BufferManager::FileNumPages(FileId file) const {
+  std::lock_guard<std::mutex> lock(files_mu_);
+  return files_[file].pages.size();
+}
+
+void BufferManager::WritePageAsync(FileId file, uint64_t page_index,
+                                   const void* data) {
+  uint32_t disk_id = DiskOf(file, page_index);
+  DiskWorker* w = disks_[disk_id].get();
+  uint64_t disk_page;
+  {
+    std::lock_guard<std::mutex> lock(files_mu_);
+    FileMeta& meta = files_[file];
+    if (page_index < meta.pages.size()) {
+      disk_page = meta.pages[page_index].second;
+    } else {
+      HJ_CHECK(page_index == meta.pages.size())
+          << "file pages must be written densely";
+      std::lock_guard<std::mutex> wlock(w->mu);
+      disk_page = w->next_free_page++;
+      meta.pages.emplace_back(disk_id, disk_page);
+    }
+  }
+  auto req = std::make_unique<Request>();
+  req->type = Request::Type::kWrite;
+  req->disk_page = disk_page;
+  void* copy = AlignedAlloc(config_.disk.page_size, kCacheLineSize);
+  std::memcpy(copy, data, config_.disk.page_size);
+  req->write_data = AlignedBuffer<uint8_t>(static_cast<uint8_t*>(copy));
+  pending_writes_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->queue.push_back(std::move(req));
+  }
+  w->cv.notify_one();
+}
+
+void BufferManager::FlushWrites() {
+  WallTimer wait;
+  std::unique_lock<std::mutex> lock(writes_mu_);
+  writes_cv_.wait(lock, [&] { return pending_writes_.load() == 0; });
+  main_stall_ns_.fetch_add(wait.ElapsedNanos());
+}
+
+std::future<Status> BufferManager::EnqueueRead(FileId file,
+                                               uint64_t page_index,
+                                               uint8_t* dst) {
+  uint32_t disk_id;
+  uint64_t disk_page;
+  {
+    std::lock_guard<std::mutex> lock(files_mu_);
+    const FileMeta& meta = files_[file];
+    HJ_CHECK(page_index < meta.pages.size()) << "read past end of file";
+    disk_id = meta.pages[page_index].first;
+    disk_page = meta.pages[page_index].second;
+  }
+  auto req = std::make_unique<Request>();
+  req->type = Request::Type::kRead;
+  req->disk_page = disk_page;
+  req->read_dst = dst;
+  std::future<Status> fut = req->done.get_future();
+  DiskWorker* w = disks_[disk_id].get();
+  {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->queue.push_back(std::move(req));
+  }
+  w->cv.notify_one();
+  return fut;
+}
+
+std::vector<double> BufferManager::DiskBusySeconds() const {
+  std::vector<double> result;
+  result.reserve(disks_.size());
+  for (const auto& w : disks_) result.push_back(w->disk->busy_seconds());
+  return result;
+}
+
+double BufferManager::max_disk_busy_seconds() const {
+  double mx = 0;
+  for (const auto& w : disks_) {
+    mx = std::max(mx, w->disk->busy_seconds());
+  }
+  return mx;
+}
+
+BufferManager::Scanner::Scanner(BufferManager* bm, FileId file)
+    : bm_(bm), file_(file), num_pages_(bm->FileNumPages(file)) {
+  frames_.resize(bm_->config_.io_prefetch_depth);
+  for (auto& f : frames_) {
+    void* raw = AlignedAlloc(bm_->config_.disk.page_size, kCacheLineSize);
+    f.buffer = AlignedBuffer<uint8_t>(static_cast<uint8_t*>(raw));
+  }
+  IssueReadAhead();
+}
+
+void BufferManager::Scanner::IssueReadAhead() {
+  // Leave one frame un-reissued: the page most recently handed to the
+  // caller must stay valid until the next NextPage() call.
+  while (next_to_issue_ < num_pages_ &&
+         next_to_issue_ + 1 < next_to_return_ + frames_.size()) {
+    Frame& f = frames_[next_to_issue_ % frames_.size()];
+    f.ready = bm_->EnqueueRead(file_, next_to_issue_, f.buffer.get());
+    ++next_to_issue_;
+  }
+}
+
+const uint8_t* BufferManager::Scanner::NextPage() {
+  if (next_to_return_ >= num_pages_) return nullptr;
+  Frame& f = frames_[next_to_return_ % frames_.size()];
+  // Only genuine not-ready waits count as main-thread I/O stall; a
+  // ready future's get() is bookkeeping, not I/O.
+  if (f.ready.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    WallTimer wait;
+    f.ready.wait();
+    bm_->main_stall_ns_.fetch_add(wait.ElapsedNanos());
+  }
+  Status s = f.ready.get();
+  HJ_CHECK_OK(s);
+  ++next_to_return_;
+  IssueReadAhead();
+  return f.buffer.get();
+}
+
+}  // namespace hashjoin

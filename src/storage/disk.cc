@@ -1,0 +1,56 @@
+#include "storage/disk.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace hashjoin {
+
+SimulatedDisk::SimulatedDisk(const DiskConfig& config) : config_(config) {
+  HJ_CHECK(config_.bandwidth_mb_per_s > 0);
+  page_transfer_us_ =
+      double(config_.page_size) / (config_.bandwidth_mb_per_s * 1e6) * 1e6 +
+      config_.request_latency_us;
+}
+
+void SimulatedDisk::Reserve(uint64_t num_pages) {
+  while (num_pages_ < num_pages) {
+    void* raw = AlignedAlloc(config_.page_size, kCacheLineSize);
+    store_.emplace_back(static_cast<uint8_t*>(raw));
+    ++num_pages_;
+  }
+}
+
+void SimulatedDisk::ChargeTransfer() {
+  busy_us_ += static_cast<uint64_t>(page_transfer_us_);
+  // Queue-server pacing: an idle disk does not bank time, and the sleep
+  // debt is paid in chunks large enough to dodge timer granularity.
+  double now_us = double(wall_.ElapsedNanos()) * 1e-3;
+  if (virtual_us_ < now_us) virtual_us_ = now_us;
+  virtual_us_ += page_transfer_us_;
+  double debt_us = virtual_us_ - now_us;
+  if (debt_us > 2000.0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(debt_us)));
+  }
+}
+
+Status SimulatedDisk::ReadPage(uint64_t page, void* dst) {
+  if (page >= num_pages_) {
+    return Status::OutOfRange("read past end of disk");
+  }
+  ChargeTransfer();
+  std::memcpy(dst, store_[page].get(), config_.page_size);
+  return Status::OK();
+}
+
+Status SimulatedDisk::WritePage(uint64_t page, const void* src) {
+  if (page >= num_pages_) Reserve(page + 1);
+  ChargeTransfer();
+  std::memcpy(store_[page].get(), src, config_.page_size);
+  return Status::OK();
+}
+
+}  // namespace hashjoin

@@ -1,0 +1,65 @@
+#ifndef HASHJOIN_STORAGE_DISK_H_
+#define HASHJOIN_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace hashjoin {
+
+/// Timing model for one simulated disk.
+struct DiskConfig {
+  /// Sustained sequential transfer rate. The paper's Seagate Cheetah
+  /// X15 36LP peaks at 68 MB/s; the default is lower so the scaled-down
+  /// workloads reproduce the same CPU-bound crossover shape.
+  double bandwidth_mb_per_s = 40.0;
+  /// Fixed per-request overhead (controller + sequential positioning).
+  uint32_t request_latency_us = 50;
+  uint32_t page_size = 8 * 1024;
+};
+
+/// A RAM-backed disk that charges transfer time by busy-waiting/sleeping.
+/// This substitutes for the paper's raw SCSI partitions: Figure 9 needs
+/// only the relative bandwidth of disks vs. the CPU, not real platters
+/// (see DESIGN.md §3). Thread-safe for a single owning worker thread.
+class SimulatedDisk {
+ public:
+  explicit SimulatedDisk(const DiskConfig& config);
+
+  /// Grows the disk to at least `num_pages` pages.
+  void Reserve(uint64_t num_pages);
+
+  /// Blocking page read into dst (page_size bytes); sleeps to model the
+  /// transfer time.
+  Status ReadPage(uint64_t page, void* dst);
+
+  /// Blocking page write from src; sleeps to model the transfer time.
+  Status WritePage(uint64_t page, const void* src);
+
+  uint64_t num_pages() const { return num_pages_; }
+  const DiskConfig& config() const { return config_; }
+
+  /// Total seconds this disk spent transferring (its utilization).
+  double busy_seconds() const { return busy_us_ * 1e-6; }
+
+ private:
+  void ChargeTransfer();
+
+  DiskConfig config_;
+  uint64_t num_pages_ = 0;
+  std::vector<AlignedBuffer<uint8_t>> store_;  // one buffer per page
+  uint64_t busy_us_ = 0;
+  double page_transfer_us_ = 0;
+  // Pacer state: the disk's virtual clock runs `page_transfer_us_` ahead
+  // per request; sleeps amortize the debt in >=2ms chunks so OS timer
+  // granularity does not inflate the effective service time.
+  WallTimer wall_;
+  double virtual_us_ = 0;
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_STORAGE_DISK_H_

@@ -1,0 +1,85 @@
+#include "storage/relation.h"
+
+#include "util/logging.h"
+
+namespace hashjoin {
+
+Relation::Relation(Schema schema, uint32_t page_size)
+    : schema_(std::move(schema)), page_size_(page_size) {
+  HJ_CHECK(page_size_ >= 256);
+}
+
+void Relation::AddPage() {
+  // Page-aligned so the simulator's TLB model sees realistic page
+  // boundaries.
+  void* raw = AlignedAlloc(page_size_, page_size_);
+  pages_.emplace_back(static_cast<uint8_t*>(raw));
+  SlottedPage::Format(pages_.back().get(), page_size_);
+  append_page_open_ = true;
+}
+
+uint8_t* Relation::AllocAppend(uint16_t length, uint32_t hash_code) {
+  if (pages_.empty()) AddPage();
+  SlottedPage pg = SlottedPage::Attach(pages_.back().get());
+  uint8_t* dst = pg.AllocTuple(length, hash_code, nullptr);
+  if (dst == nullptr) {
+    AddPage();
+    pg = SlottedPage::Attach(pages_.back().get());
+    dst = pg.AllocTuple(length, hash_code, nullptr);
+    HJ_CHECK(dst != nullptr) << "tuple larger than a page";
+  }
+  ++num_tuples_;
+  data_bytes_ += length;
+  return dst;
+}
+
+void Relation::Append(const void* data, uint16_t length,
+                      uint32_t hash_code) {
+  uint8_t* dst = AllocAppend(length, hash_code);
+  std::memcpy(dst, data, length);
+}
+
+void Relation::AdoptPage(AlignedBuffer<uint8_t> page) {
+  SlottedPage pg = SlottedPage::Attach(page.get());
+  HJ_CHECK(pg.page_size() == page_size_);
+  num_tuples_ += pg.slot_count();
+  for (int s = 0; s < pg.slot_count(); ++s) {
+    uint16_t len = 0;
+    pg.GetTuple(s, &len);
+    data_bytes_ += len;
+  }
+  // Keep the open append page (if any) last so AllocAppend keeps
+  // filling it; otherwise adopted pages append in arrival order.
+  if (append_page_open_ && !pages_.empty()) {
+    pages_.insert(pages_.end() - 1, std::move(page));
+  } else {
+    pages_.push_back(std::move(page));
+  }
+}
+
+void Relation::AppendCopiedPage(const void* page_bytes) {
+  const SlottedPage src =
+      SlottedPage::Attach(const_cast<void*>(page_bytes));
+  HJ_CHECK(src.page_size() == page_size_);
+  void* raw = AlignedAlloc(page_size_, page_size_);
+  std::memcpy(raw, page_bytes, page_size_);
+  AdoptPage(AlignedBuffer<uint8_t>(static_cast<uint8_t*>(raw)));
+}
+
+const uint8_t* Relation::PeekAppendAddr() const {
+  if (pages_.empty() || !append_page_open_) return nullptr;
+  const SlottedPage pg = page(pages_.size() - 1);
+  // Mirrors SlottedPage::AllocTuple's bump pointer.
+  return pg.data() +
+         reinterpret_cast<const SlottedPage::PageHeader*>(pg.data())
+             ->free_offset;
+}
+
+void Relation::Clear() {
+  pages_.clear();
+  num_tuples_ = 0;
+  data_bytes_ = 0;
+  append_page_open_ = false;
+}
+
+}  // namespace hashjoin

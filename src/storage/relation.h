@@ -1,0 +1,90 @@
+#ifndef HASHJOIN_STORAGE_RELATION_H_
+#define HASHJOIN_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/slotted_page.h"
+#include "util/aligned.h"
+
+namespace hashjoin {
+
+/// An in-memory paged relation: a schema plus a sequence of slotted
+/// pages. The CPU-performance experiments keep relations and intermediate
+/// partitions memory-resident (the paper stores them as files "for
+/// simplicity" and measures user-mode CPU time only; the I/O path is
+/// exercised separately by the buffer manager and Figure 9).
+class Relation {
+ public:
+  explicit Relation(Schema schema, uint32_t page_size = kDefaultPageSize);
+
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  /// Appends a tuple, starting a new page when the current one is full.
+  void Append(const void* data, uint16_t length, uint32_t hash_code = 0);
+
+  /// Reserves space for a tuple and returns a writable pointer to it.
+  uint8_t* AllocAppend(uint16_t length, uint32_t hash_code = 0);
+
+  /// Takes ownership of an already-formatted page.
+  void AdoptPage(AlignedBuffer<uint8_t> page);
+
+  /// Copies an already-formatted page's bytes in (the partition phase
+  /// "writes out" full output buffers this way, mirroring an async disk
+  /// write that recycles the caller's buffer).
+  void AppendCopiedPage(const void* page_bytes);
+
+  /// Address where the next appended tuple's bytes will start if it fits
+  /// in the current page (used only as a prefetch hint; a page switch may
+  /// place the tuple elsewhere). Null if no page is open.
+  const uint8_t* PeekAppendAddr() const;
+
+  const Schema& schema() const { return schema_; }
+  uint32_t page_size() const { return page_size_; }
+  size_t num_pages() const { return pages_.size(); }
+  uint64_t num_tuples() const { return num_tuples_; }
+
+  /// Total tuple payload bytes (excluding page headers/slots).
+  uint64_t data_bytes() const { return data_bytes_; }
+
+  SlottedPage page(size_t i) {
+    return SlottedPage::Attach(pages_[i].get());
+  }
+  const SlottedPage page(size_t i) const {
+    return SlottedPage::Attach(const_cast<uint8_t*>(pages_[i].get()));
+  }
+
+  /// Calls f(tuple_ptr, length, hash_code) for every tuple in order.
+  template <typename F>
+  void ForEachTuple(F&& f) const {
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      const SlottedPage pg = page(p);
+      for (int s = 0; s < pg.slot_count(); ++s) {
+        uint16_t len = 0;
+        const uint8_t* t = pg.GetTuple(s, &len);
+        f(t, len, pg.GetHashCode(s));
+      }
+    }
+  }
+
+  /// Drops all pages.
+  void Clear();
+
+ private:
+  void AddPage();
+
+  Schema schema_;
+  uint32_t page_size_;
+  std::vector<AlignedBuffer<uint8_t>> pages_;
+  uint64_t num_tuples_ = 0;
+  uint64_t data_bytes_ = 0;
+  bool append_page_open_ = false;  // last page is the AllocAppend target
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_STORAGE_RELATION_H_

@@ -1,0 +1,49 @@
+#include "storage/schema.h"
+
+#include "util/logging.h"
+
+namespace hashjoin {
+
+namespace {
+uint32_t FixedWidth(const Attribute& a) {
+  switch (a.type) {
+    case AttrType::kInt32:
+      return 4;
+    case AttrType::kInt64:
+      return 8;
+    case AttrType::kFixedChar:
+      return a.length;
+    case AttrType::kVarChar:
+      return 4;  // u16 offset + u16 length slot within the tuple
+  }
+  return 0;
+}
+}  // namespace
+
+Schema::Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {
+  offsets_.reserve(attrs_.size());
+  uint32_t off = 0;
+  for (const Attribute& a : attrs_) {
+    offsets_.push_back(off);
+    off += FixedWidth(a);
+    if (a.type == AttrType::kVarChar) has_varlen_ = true;
+  }
+  fixed_size_ = off;
+}
+
+Schema Schema::KeyPayload(uint32_t tuple_size) {
+  HJ_CHECK(tuple_size >= 8) << "tuple must fit a 4B key + >=4B payload";
+  std::vector<Attribute> attrs;
+  attrs.push_back({"key", AttrType::kInt32, 4});
+  attrs.push_back({"payload", AttrType::kFixedChar, tuple_size - 4});
+  return Schema(std::move(attrs));
+}
+
+int Schema::FindAttr(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace hashjoin

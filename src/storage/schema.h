@@ -1,0 +1,68 @@
+#ifndef HASHJOIN_STORAGE_SCHEMA_H_
+#define HASHJOIN_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hashjoin {
+
+/// Supported attribute types. The paper's workloads use a 4-byte join key
+/// plus a fixed-length payload, but the page format also supports
+/// variable-length attributes (§7.1: "slotted page structure ... fixed
+/// length and variable length attributes").
+enum class AttrType : uint8_t {
+  kInt32,
+  kInt64,
+  kFixedChar,  // fixed-length byte string, length = `length` bytes
+  kVarChar,    // variable-length, stored after the fixed-size prefix
+};
+
+/// One column of a schema.
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kInt32;
+  uint32_t length = 4;  // bytes for kFixedChar; max bytes for kVarChar
+};
+
+/// Physical tuple layout: all fixed-size attributes (and 4-byte
+/// offset/length slots for each varchar) form a fixed-size prefix;
+/// varchar payloads follow. Keeps key access a constant-offset read,
+/// which the join kernels rely on.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs);
+
+  /// Convenience factory for the paper's experiment schema: a 4-byte
+  /// integer join key named "key" plus one fixed payload column sized so
+  /// the whole tuple is `tuple_size` bytes.
+  static Schema KeyPayload(uint32_t tuple_size);
+
+  size_t num_attrs() const { return attrs_.size(); }
+  const Attribute& attr(size_t i) const { return attrs_[i]; }
+
+  /// Byte offset of attribute i within the fixed-size prefix.
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+
+  /// Size of the fixed prefix (== tuple size when no varchars).
+  uint32_t fixed_size() const { return fixed_size_; }
+
+  /// True if any attribute is kVarChar.
+  bool has_varlen() const { return has_varlen_; }
+
+  /// Index of the attribute named `name`, or -1.
+  int FindAttr(const std::string& name) const;
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::vector<uint32_t> offsets_;
+  uint32_t fixed_size_ = 0;
+  bool has_varlen_ = false;
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_STORAGE_SCHEMA_H_

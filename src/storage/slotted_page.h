@@ -1,0 +1,92 @@
+#ifndef HASHJOIN_STORAGE_SLOTTED_PAGE_H_
+#define HASHJOIN_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace hashjoin {
+
+/// Default page size; matches the paper's simulated machine (8KB pages).
+inline constexpr uint32_t kDefaultPageSize = 8 * 1024;
+
+/// A slotted page view over a caller-owned, page-sized byte buffer.
+///
+/// Layout:
+///   [PageHeader][tuple data grows ->]   ...   [<- slot array grows]
+///
+/// Each slot records the tuple's offset/length *and a 4-byte hash code*.
+/// Storing hash codes in the slot area of intermediate partitions is the
+/// paper's §7.1 optimization: the partition phase computes each join
+/// key's hash code once, memoizes it in the slot, and the join phase
+/// reuses it instead of re-reading the key and re-hashing. The join
+/// kernels read slots sequentially (cache friendly), then jump to tuple
+/// bodies.
+class SlottedPage {
+ public:
+  struct PageHeader {
+    uint16_t slot_count;
+    uint16_t free_offset;  // start of unused space (grows up)
+    uint32_t page_size;
+  };
+
+  struct Slot {
+    uint16_t offset;
+    uint16_t length;
+    uint32_t hash_code;  // memoized hash of the join key (may be 0)
+  };
+
+  SlottedPage() = default;
+  explicit SlottedPage(void* buffer) : base_(static_cast<uint8_t*>(buffer)) {}
+
+  /// Formats an empty page of `page_size` bytes in `buffer`.
+  static SlottedPage Format(void* buffer, uint32_t page_size);
+
+  /// Attaches to an already formatted page.
+  static SlottedPage Attach(void* buffer) { return SlottedPage(buffer); }
+
+  /// Appends a tuple; returns the slot index, or -1 if the page is full.
+  int AddTuple(const void* data, uint16_t length, uint32_t hash_code = 0);
+
+  /// Reserves space for a tuple of `length` bytes and returns a writable
+  /// pointer to it (or nullptr if full). Lets the partition kernels copy
+  /// field-by-field without a staging buffer.
+  uint8_t* AllocTuple(uint16_t length, uint32_t hash_code, int* slot_index);
+
+  uint16_t slot_count() const { return header()->slot_count; }
+  uint32_t page_size() const { return header()->page_size; }
+
+  const uint8_t* GetTuple(int slot, uint16_t* length) const;
+  uint8_t* GetMutableTuple(int slot, uint16_t* length);
+  uint32_t GetHashCode(int slot) const { return GetSlot(slot)->hash_code; }
+  void SetHashCode(int slot, uint32_t code) {
+    GetMutableSlot(slot)->hash_code = code;
+  }
+
+  /// Bytes still available for one more tuple (data + slot entry).
+  uint32_t FreeSpace() const;
+
+  /// Address of the slot array entry (used by prefetching kernels).
+  const Slot* GetSlot(int i) const {
+    return reinterpret_cast<const Slot*>(base_ + header()->page_size) - 1 - i;
+  }
+
+  uint8_t* data() { return base_; }
+  const uint8_t* data() const { return base_; }
+
+ private:
+  const PageHeader* header() const {
+    return reinterpret_cast<const PageHeader*>(base_);
+  }
+  PageHeader* mutable_header() {
+    return reinterpret_cast<PageHeader*>(base_);
+  }
+  Slot* GetMutableSlot(int i) {
+    return reinterpret_cast<Slot*>(base_ + header()->page_size) - 1 - i;
+  }
+
+  uint8_t* base_ = nullptr;
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,19 @@
+#include "util/aligned.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace hashjoin {
+
+void* AlignedAlloc(size_t bytes, size_t alignment) {
+  HJ_CHECK(IsPowerOfTwo(alignment));
+  if (bytes == 0) bytes = alignment;
+  bytes = RoundUp(bytes, alignment);
+  void* p = std::aligned_alloc(alignment, bytes);
+  HJ_CHECK(p != nullptr) << "aligned_alloc of " << bytes << " bytes failed";
+  return p;
+}
+
+void AlignedFree(void* ptr) { std::free(ptr); }
+
+}  // namespace hashjoin

@@ -1,0 +1,33 @@
+#ifndef HASHJOIN_UTIL_FLAGS_H_
+#define HASHJOIN_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hashjoin {
+
+/// Minimal --name=value command-line parser for the bench binaries.
+/// Unknown flags are tolerated (google-benchmark consumes its own), so
+/// bench binaries can mix both flag families.
+class FlagParser {
+ public:
+  /// Parses argv; recognized "--name=value" and "--name value" pairs are
+  /// recorded. "--name" alone records "true".
+  void Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_UTIL_FLAGS_H_

@@ -1,0 +1,60 @@
+#ifndef HASHJOIN_UTIL_LOGGING_H_
+#define HASHJOIN_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace hashjoin {
+namespace internal_logging {
+
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+/// Stream-style log sink that emits one line on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace hashjoin
+
+#define HJ_LOG(level)                                                     \
+  ::hashjoin::internal_logging::LogMessage(                               \
+      ::hashjoin::internal_logging::LogLevel::k##level, __FILE__,         \
+      __LINE__)                                                           \
+      .stream()
+
+/// Unconditional invariant check; active in all build types because this
+/// library's correctness claims (e.g. conflict handling in interleaved hash
+/// table visits) must hold in release benchmarking builds too.
+#define HJ_CHECK(cond)                                               \
+  if (!(cond)) HJ_LOG(Fatal) << "Check failed: " #cond << " "
+
+#define HJ_CHECK_OK(expr)                                            \
+  do {                                                               \
+    ::hashjoin::Status _hj_chk = (expr);                             \
+    if (!_hj_chk.ok())                                               \
+      HJ_LOG(Fatal) << "Status not OK: " << _hj_chk.ToString();      \
+  } while (0)
+
+#ifndef NDEBUG
+#define HJ_DCHECK(cond) HJ_CHECK(cond)
+#else
+#define HJ_DCHECK(cond) \
+  if (false) HJ_LOG(Fatal) << ""
+#endif
+
+#endif  // HASHJOIN_UTIL_LOGGING_H_

@@ -1,0 +1,115 @@
+#ifndef HASHJOIN_UTIL_STATUS_H_
+#define HASHJOIN_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace hashjoin {
+
+/// Error categories used across the library. Modeled after the usual
+/// database-engine taxonomy; kept deliberately small.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a status code ("OK", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight Status value used instead of exceptions across module
+/// boundaries. OK statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper. Accessing value() on an error aborts, so call
+/// sites must check ok() (or status()) first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(value_);
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!status_.ok()) std::abort();
+  }
+
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define HJ_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::hashjoin::Status _hj_st = (expr);       \
+    if (!_hj_st.ok()) return _hj_st;          \
+  } while (0)
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_UTIL_STATUS_H_

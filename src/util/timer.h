@@ -1,0 +1,52 @@
+#ifndef HASHJOIN_UTIL_TIMER_H_
+#define HASHJOIN_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hashjoin {
+
+/// Monotonic wall-clock stopwatch used by the real-hardware measurement
+/// paths (the paper used gettimeofday + the processor cycle counter).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulating timer: sums the durations of Start()/Stop() windows.
+/// Used for per-thread I/O stall accounting in the buffer manager.
+class StallTimer {
+ public:
+  void Start() { window_.Restart(); }
+  void Stop() { total_ns_ += window_.ElapsedNanos(); }
+
+  double TotalSeconds() const { return double(total_ns_) * 1e-9; }
+  int64_t TotalNanos() const { return total_ns_; }
+  void Reset() { total_ns_ = 0; }
+
+ private:
+  WallTimer window_;
+  int64_t total_ns_ = 0;
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_UTIL_TIMER_H_

@@ -1,0 +1,111 @@
+#include "workload/generator.h"
+
+#include <cstring>
+#include <vector>
+
+#include "hash/hash_func.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace hashjoin {
+
+namespace {
+
+/// Writes one key+payload tuple into `dst`. Payload bytes are a cheap
+/// deterministic function of the key so tests can validate copies.
+void FillTuple(uint8_t* dst, uint32_t key, uint32_t tuple_size) {
+  std::memcpy(dst, &key, 4);
+  uint8_t b = uint8_t(key * 131u + 17u);
+  std::memset(dst + 4, b, tuple_size - 4);
+}
+
+}  // namespace
+
+uint64_t WorkloadSpec::NumProbeTuples() const {
+  double matched_build = double(num_build_tuples) * build_match_fraction;
+  double matched_probe = matched_build * matches_per_build;
+  if (probe_match_fraction <= 0) return uint64_t(matched_probe);
+  return uint64_t(matched_probe / probe_match_fraction + 0.5);
+}
+
+JoinWorkload GenerateJoinWorkload(const WorkloadSpec& spec) {
+  HJ_CHECK(spec.tuple_size >= 8);
+  HJ_CHECK(spec.num_build_tuples > 0);
+  HJ_CHECK(spec.build_match_fraction >= 0 && spec.build_match_fraction <= 1);
+  HJ_CHECK(spec.probe_match_fraction > 0 && spec.probe_match_fraction <= 1);
+
+  Rng rng(spec.seed);
+  Schema schema = Schema::KeyPayload(spec.tuple_size);
+  JoinWorkload w{Relation(schema), Relation(schema)};
+
+  // Build keys are 1..N (unique). Key 0 and keys > N never match.
+  uint64_t n_build = spec.num_build_tuples;
+  std::vector<uint32_t> build_keys(n_build);
+  for (uint64_t i = 0; i < n_build; ++i) {
+    build_keys[i] = uint32_t(i + 1);
+  }
+  rng.Shuffle(&build_keys);
+  for (uint32_t key : build_keys) {
+    uint8_t* dst =
+        w.build.AllocAppend(uint16_t(spec.tuple_size), HashKey32(key));
+    FillTuple(dst, key, spec.tuple_size);
+  }
+
+  // Matched probe keys: matches_per_build copies of each matching build
+  // key (fractional parts handled by an extra copy for a prefix).
+  uint64_t matched_build =
+      uint64_t(double(n_build) * spec.build_match_fraction + 0.5);
+  std::vector<uint32_t> probe_keys;
+  uint64_t whole = uint64_t(spec.matches_per_build);
+  double frac = spec.matches_per_build - double(whole);
+  for (uint64_t i = 0; i < matched_build; ++i) {
+    uint32_t key = uint32_t(i + 1);
+    uint64_t copies = whole + (double(i) / double(matched_build) < frac ? 1 : 0);
+    for (uint64_t c = 0; c < copies; ++c) probe_keys.push_back(key);
+  }
+  w.expected_matches = probe_keys.size();
+
+  // Unmatched probe tuples: keys beyond the build key range.
+  uint64_t n_probe = spec.NumProbeTuples();
+  uint32_t next_nonmatch = uint32_t(n_build + 1);
+  while (probe_keys.size() < n_probe) {
+    probe_keys.push_back(next_nonmatch++);
+  }
+  rng.Shuffle(&probe_keys);
+  for (uint32_t key : probe_keys) {
+    uint8_t* dst =
+        w.probe.AllocAppend(uint16_t(spec.tuple_size), HashKey32(key));
+    FillTuple(dst, key, spec.tuple_size);
+  }
+  return w;
+}
+
+Relation GenerateSourceRelation(uint64_t num_tuples, uint32_t tuple_size,
+                                uint64_t seed) {
+  HJ_CHECK(tuple_size >= 8);
+  Rng rng(seed);
+  Relation rel(Schema::KeyPayload(tuple_size));
+  for (uint64_t i = 0; i < num_tuples; ++i) {
+    uint32_t key = uint32_t(rng.Next());
+    uint8_t* dst = rel.AllocAppend(uint16_t(tuple_size), HashKey32(key));
+    FillTuple(dst, key, tuple_size);
+  }
+  return rel;
+}
+
+Relation GenerateSkewedRelation(uint64_t num_tuples, uint32_t tuple_size,
+                                double zipf_theta,
+                                uint64_t num_distinct_keys, uint64_t seed) {
+  HJ_CHECK(tuple_size >= 8);
+  HJ_CHECK(num_distinct_keys > 0);
+  ZipfGenerator zipf(num_distinct_keys, zipf_theta, seed);
+  Relation rel(Schema::KeyPayload(tuple_size));
+  for (uint64_t i = 0; i < num_tuples; ++i) {
+    uint32_t key = uint32_t(zipf.Next() + 1);
+    uint8_t* dst = rel.AllocAppend(uint16_t(tuple_size), HashKey32(key));
+    FillTuple(dst, key, tuple_size);
+  }
+  return rel;
+}
+
+}  // namespace hashjoin

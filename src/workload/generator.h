@@ -1,0 +1,64 @@
+#ifndef HASHJOIN_WORKLOAD_GENERATOR_H_
+#define HASHJOIN_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "storage/relation.h"
+
+namespace hashjoin {
+
+/// Workload parameters from the paper's experiment design (§7.1): build
+/// and probe relations share a schema of a 4-byte join key plus a
+/// fixed-length payload; a build tuple may match zero or more probe
+/// tuples; a probe tuple matches zero or one build tuple.
+struct WorkloadSpec {
+  uint32_t tuple_size = 100;       // bytes, including the 4-byte key
+  uint64_t num_build_tuples = 100000;
+
+  /// Probe tuples matching each matching build tuple (Figure 10(b)
+  /// sweeps 1-4; the pivot point is 2).
+  double matches_per_build = 2.0;
+
+  /// Fraction of build tuples that have at least one match.
+  double build_match_fraction = 1.0;
+
+  /// Fraction of probe tuples that have a match (Figure 10(c) sweeps
+  /// 50%-100%).
+  double probe_match_fraction = 1.0;
+
+  uint64_t seed = 1;
+
+  /// Derived: probe tuple count implied by the match parameters.
+  uint64_t NumProbeTuples() const;
+};
+
+/// Generated join inputs. Every matched probe tuple's key equals exactly
+/// one build tuple's key; build keys are unique. expected_matches is the
+/// exact number of (probe, build) output pairs a correct join must emit —
+/// tests and benches verify against it.
+struct JoinWorkload {
+  Relation build;
+  Relation probe;
+  uint64_t expected_matches = 0;
+};
+
+/// Generates the §7.1 workload. Probe tuples are emitted in shuffled key
+/// order so hash-table visits are random (no artificial locality).
+JoinWorkload GenerateJoinWorkload(const WorkloadSpec& spec);
+
+/// Generates a single relation with uniformly random keys — the partition
+/// phase input (Figure 14: 10 million 100-byte tuples, scaled by callers).
+Relation GenerateSourceRelation(uint64_t num_tuples, uint32_t tuple_size,
+                                uint64_t seed = 7);
+
+/// Generates a relation whose keys follow a Zipf distribution — stresses
+/// the read-write conflict protocols (busy buckets, waiting queues) that
+/// uniform keys rarely trigger.
+Relation GenerateSkewedRelation(uint64_t num_tuples, uint32_t tuple_size,
+                                double zipf_theta, uint64_t num_distinct_keys,
+                                uint64_t seed = 11);
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_WORKLOAD_GENERATOR_H_

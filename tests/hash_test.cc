@@ -1,0 +1,192 @@
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "hash/hash_func.h"
+#include "hash/hash_table.h"
+#include "util/bitops.h"
+#include "util/random.h"
+
+namespace hashjoin {
+namespace {
+
+TEST(HashFuncTest, DeterministicAndLengthSensitive) {
+  const char* data = "abcdefgh";
+  EXPECT_EQ(HashBytes(data, 8), HashBytes(data, 8));
+  EXPECT_NE(HashBytes(data, 8), HashBytes(data, 7));
+}
+
+TEST(HashFuncTest, HandlesOddLengths) {
+  const char* data = "abcdefghijk";
+  std::set<uint32_t> hashes;
+  for (size_t len = 1; len <= 11; ++len) hashes.insert(HashBytes(data, len));
+  EXPECT_EQ(hashes.size(), 11u);
+}
+
+TEST(HashFuncTest, Key32MatchesNoCollisionsOnSmallRange) {
+  std::set<uint32_t> seen;
+  for (uint32_t k = 0; k < 100000; ++k) seen.insert(HashKey32(k));
+  // An invertible mixer has zero collisions; allow none.
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(HashFuncTest, BucketDistributionIsUniform) {
+  // Sequential keys must spread evenly over a prime bucket count.
+  const uint64_t buckets = 1009;
+  std::vector<int> counts(buckets, 0);
+  const int n = 100000;
+  for (uint32_t k = 0; k < n; ++k) counts[HashKey32(k) % buckets]++;
+  double expected = double(n) / double(buckets);
+  double chi2 = 0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  // dof ~ 1008; a catastrophically bad hash blows far past 2000.
+  EXPECT_LT(chi2, 1400.0);
+}
+
+TEST(HashFuncTest, BytesDistributionOverStringKeys) {
+  const uint64_t buckets = 509;
+  std::vector<int> counts(buckets, 0);
+  char key[16];
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    std::snprintf(key, sizeof(key), "key-%08d", i);
+    counts[HashBytes(key, 12) % buckets]++;
+  }
+  double expected = double(n) / double(buckets);
+  double chi2 = 0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 800.0);
+}
+
+class HashTableTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kTupleSize = 16;
+
+  const uint8_t* MakeTuple(uint32_t key) {
+    tuples_.push_back(std::vector<uint8_t>(kTupleSize, 0));
+    std::memcpy(tuples_.back().data(), &key, 4);
+    return tuples_.back().data();
+  }
+
+  std::vector<std::vector<uint8_t>> tuples_;
+};
+
+TEST_F(HashTableTest, InsertAndProbeSingle) {
+  HashTable ht(101);
+  uint32_t h = HashKey32(42);
+  ht.Insert(h, MakeTuple(42));
+  int found = 0;
+  ht.Probe(h, [&](const uint8_t* t) {
+    uint32_t key;
+    std::memcpy(&key, t, 4);
+    EXPECT_EQ(key, 42u);
+    ++found;
+  });
+  EXPECT_EQ(found, 1);
+  EXPECT_EQ(ht.num_tuples(), 1u);
+}
+
+TEST_F(HashTableTest, ProbeMissFindsNothing) {
+  HashTable ht(101);
+  ht.Insert(HashKey32(1), MakeTuple(1));
+  int found = 0;
+  ht.Probe(HashKey32(2), [&](const uint8_t*) { ++found; });
+  // Different hash codes (mixer is invertible, so h(1) != h(2)).
+  EXPECT_EQ(found, 0);
+}
+
+TEST_F(HashTableTest, InlineCellThenArrayGrowth) {
+  // Force every tuple into one bucket with a 1-bucket table.
+  HashTable ht(1);
+  for (uint32_t k = 0; k < 100; ++k) ht.Insert(HashKey32(k), MakeTuple(k));
+  EXPECT_EQ(ht.num_tuples(), 100u);
+  EXPECT_EQ(ht.CountTuplesSlow(), 100u);
+  const BucketHeader* b = ht.bucket(0);
+  EXPECT_EQ(b->count, 100u);
+  EXPECT_GE(b->capacity, 99u);
+  // Probe for each key must find exactly one hash-code match.
+  for (uint32_t k = 0; k < 100; ++k) {
+    int found = 0;
+    ht.Probe(HashKey32(k), [&](const uint8_t* t) {
+      uint32_t key;
+      std::memcpy(&key, t, 4);
+      if (key == k) ++found;
+    });
+    EXPECT_EQ(found, 1) << k;
+  }
+}
+
+TEST_F(HashTableTest, DuplicateKeysAllRetained) {
+  HashTable ht(17);
+  uint32_t h = HashKey32(7);
+  for (int i = 0; i < 5; ++i) ht.Insert(h, MakeTuple(7));
+  int found = 0;
+  ht.Probe(h, [&](const uint8_t*) { ++found; });
+  EXPECT_EQ(found, 5);
+}
+
+TEST_F(HashTableTest, ResetEmpties) {
+  HashTable ht(11);
+  ht.Insert(HashKey32(1), MakeTuple(1));
+  ht.Insert(HashKey32(1), MakeTuple(1));
+  ht.Reset();
+  EXPECT_EQ(ht.num_tuples(), 0u);
+  EXPECT_EQ(ht.CountTuplesSlow(), 0u);
+  int found = 0;
+  ht.Probe(HashKey32(1), [&](const uint8_t*) { ++found; });
+  EXPECT_EQ(found, 0);
+}
+
+TEST_F(HashTableTest, ManyKeysRoundTrip) {
+  const uint32_t n = 20000;
+  HashTable ht(NextRelativelyPrime(n, 31));
+  for (uint32_t k = 0; k < n; ++k) ht.Insert(HashKey32(k), MakeTuple(k));
+  EXPECT_EQ(ht.CountTuplesSlow(), uint64_t(n));
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    uint32_t k = uint32_t(rng.NextBounded(n));
+    int exact = 0;
+    ht.Probe(HashKey32(k), [&](const uint8_t* t) {
+      uint32_t key;
+      std::memcpy(&key, t, 4);
+      if (key == k) ++exact;
+    });
+    EXPECT_EQ(exact, 1) << k;
+  }
+}
+
+TEST_F(HashTableTest, EstimateBytesScalesLinearly) {
+  EXPECT_EQ(HashTable::EstimateBytes(0), 0u);
+  EXPECT_EQ(HashTable::EstimateBytes(1000),
+            1000u * (sizeof(BucketHeader) + sizeof(HashCell)));
+}
+
+TEST_F(HashTableTest, EnsureArrayCapacityPreservesCells) {
+  HashTable ht(1);
+  BucketHeader* b = ht.bucket(0);
+  // Insert via the public API until several growths happened.
+  for (uint32_t k = 0; k < 40; ++k) ht.Insert(HashKey32(k), MakeTuple(k));
+  ASSERT_EQ(b->count, 40u);
+  std::vector<uint32_t> hashes;
+  for (uint32_t i = 0; i + 1 < b->count; ++i) {
+    hashes.push_back(b->array[i].hash);
+  }
+  // Force one more growth cycle and verify old cells survived.
+  uint32_t before_cap = b->capacity;
+  while (b->capacity == before_cap) {
+    ht.Insert(HashKey32(1000 + b->count), MakeTuple(1000 + b->count));
+  }
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    EXPECT_EQ(b->array[i].hash, hashes[i]) << i;
+  }
+}
+
+TEST(BucketHeaderTest, LayoutIsCompact) {
+  EXPECT_EQ(sizeof(BucketHeader), 32u);
+  EXPECT_EQ(sizeof(HashCell), 16u);
+}
+
+}  // namespace
+}  // namespace hashjoin

@@ -1,0 +1,113 @@
+#include <cstring>
+#include <map>
+
+#include "gtest/gtest.h"
+#include "join/grace.h"
+#include "mem/memory_model.h"
+#include "workload/generator.h"
+
+namespace hashjoin {
+namespace {
+
+uint32_t KeyOf(const uint8_t* t) {
+  uint32_t k;
+  std::memcpy(&k, t, 4);
+  return k;
+}
+
+TEST(PartitionPlanTest, SinglePassWhenUnderCap) {
+  PartitionPlan p = PlanPartitionPasses(100, 0);
+  EXPECT_FALSE(p.MultiPass());
+  EXPECT_EQ(p.FinalParts(), 100u);
+  p = PlanPartitionPasses(100, 200);
+  EXPECT_FALSE(p.MultiPass());
+  EXPECT_EQ(p.FinalParts(), 100u);
+}
+
+TEST(PartitionPlanTest, TwoPassesWhenOverCap) {
+  PartitionPlan p = PlanPartitionPasses(1000, 100);
+  EXPECT_TRUE(p.MultiPass());
+  EXPECT_LE(p.pass1, 100u);
+  EXPECT_LE(p.pass2, 100u);
+  EXPECT_GE(p.FinalParts(), 1000u);
+}
+
+TEST(PartitionPlanTest, ZeroWantedIsOnePartition) {
+  PartitionPlan p = PlanPartitionPasses(0, 10);
+  EXPECT_EQ(p.FinalParts(), 1u);
+}
+
+class MultiPassPartitionTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(MultiPassPartitionTest, FinalPartitionsConsistentAndComplete) {
+  Relation input = GenerateSourceRelation(20000, 20, 29);
+  GraceConfig config;
+  config.partition_scheme = GetParam();
+  config.combined_partition = false;
+  config.page_size = 1024;
+  PartitionPlan plan = PlanPartitionPasses(35, 6);  // 6x6 = 36 parts
+  ASSERT_TRUE(plan.MultiPass());
+
+  RealMemory mm;
+  std::vector<Relation> parts;
+  PartitionWithPlan(mm, config, input, plan, &parts);
+  ASSERT_EQ(parts.size(), plan.FinalParts());
+
+  uint64_t total = 0;
+  std::map<uint32_t, int> in_counts, out_counts;
+  input.ForEachTuple(
+      [&](const uint8_t* t, uint16_t, uint32_t) { in_counts[KeyOf(t)]++; });
+  for (uint32_t p = 0; p < parts.size(); ++p) {
+    uint32_t p1 = p / plan.pass2;
+    uint32_t p2 = p % plan.pass2;
+    parts[p].ForEachTuple([&](const uint8_t* t, uint16_t, uint32_t hash) {
+      ASSERT_EQ(hash, HashKey32(KeyOf(t)));
+      ASSERT_EQ(hash % plan.pass1, p1);
+      ASSERT_EQ((hash / plan.pass1) % plan.pass2, p2);
+      out_counts[KeyOf(t)]++;
+      ++total;
+    });
+  }
+  EXPECT_EQ(total, input.num_tuples());
+  EXPECT_EQ(in_counts, out_counts);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, MultiPassPartitionTest,
+                         ::testing::Values(Scheme::kBaseline, Scheme::kSimple,
+                                           Scheme::kGroup, Scheme::kSwp),
+                         [](const auto& info) {
+                           return SchemeName(info.param);
+                         });
+
+TEST(MultiPassGraceTest, JoinCorrectUnderPartitionCap) {
+  WorkloadSpec spec;
+  spec.num_build_tuples = 30000;
+  spec.tuple_size = 16;
+  spec.matches_per_build = 2.0;
+  JoinWorkload w = GenerateJoinWorkload(spec);
+  GraceConfig config;
+  config.memory_budget = 48 * 1024;  // forces ~40 partitions
+  config.max_active_partitions = 8;  // cap well below that (40 <= 8^2)
+  config.page_size = 2048;
+  RealMemory mm;
+  JoinResult r = GraceHashJoin(mm, w.build, w.probe, config, nullptr);
+  EXPECT_EQ(r.output_tuples, w.expected_matches);
+  EXPECT_GT(r.num_partitions, 8u);  // multi-pass actually engaged
+}
+
+TEST(MultiPassGraceTest, CapAboveNeedIsSinglePass) {
+  WorkloadSpec spec;
+  spec.num_build_tuples = 4000;
+  spec.tuple_size = 16;
+  JoinWorkload w = GenerateJoinWorkload(spec);
+  GraceConfig config;
+  config.memory_budget = 128 * 1024;
+  config.max_active_partitions = 1000;
+  config.page_size = 2048;
+  RealMemory mm;
+  JoinResult r = GraceHashJoin(mm, w.build, w.probe, config, nullptr);
+  EXPECT_EQ(r.output_tuples, w.expected_matches);
+}
+
+}  // namespace
+}  // namespace hashjoin

@@ -1,0 +1,209 @@
+// Property-style randomized suites: data-structure model tests and
+// whole-join invariants over randomly drawn configurations. All seeds
+// are fixed, so failures reproduce deterministically.
+
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "join/grace.h"
+#include "mem/memory_model.h"
+#include "simcache/memory_sim.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace hashjoin {
+namespace {
+
+// ---------- slotted page vs oracle model ----------
+
+class SlottedPageModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlottedPageModelTest, RandomFillMatchesOracle) {
+  Rng rng(uint64_t(GetParam()) * 7919 + 1);
+  uint32_t page_size = uint32_t(256 << rng.NextBounded(5));  // 256..4096
+  std::vector<uint8_t> buf(page_size);
+  SlottedPage page = SlottedPage::Format(buf.data(), page_size);
+
+  std::vector<std::vector<uint8_t>> oracle;
+  std::vector<uint32_t> hashes;
+  for (;;) {
+    uint16_t len = uint16_t(1 + rng.NextBounded(120));
+    std::vector<uint8_t> tuple(len);
+    for (auto& b : tuple) b = uint8_t(rng.Next());
+    uint32_t hash = uint32_t(rng.Next());
+    int idx = page.AddTuple(tuple.data(), len, hash);
+    if (idx < 0) break;
+    ASSERT_EQ(idx, int(oracle.size()));
+    oracle.push_back(std::move(tuple));
+    hashes.push_back(hash);
+  }
+  ASSERT_GT(oracle.size(), 0u);
+  ASSERT_EQ(page.slot_count(), int(oracle.size()));
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    uint16_t len = 0;
+    const uint8_t* t = page.GetTuple(int(i), &len);
+    ASSERT_EQ(len, oracle[i].size());
+    ASSERT_EQ(std::memcmp(t, oracle[i].data(), len), 0) << i;
+    ASSERT_EQ(page.GetHashCode(int(i)), hashes[i]) << i;
+  }
+  // The page never over-commits: used bytes fit the page.
+  uint32_t payload = 0;
+  for (auto& t : oracle) payload += uint32_t(t.size());
+  EXPECT_LE(payload + sizeof(SlottedPage::PageHeader) +
+                oracle.size() * sizeof(SlottedPage::Slot),
+            page_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlottedPageModelTest,
+                         ::testing::Range(0, 20));
+
+// ---------- relation round trip over random shapes ----------
+
+class RelationModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelationModelTest, RandomAppendsRoundTrip) {
+  Rng rng(uint64_t(GetParam()) * 104729 + 3);
+  uint32_t page_size = uint32_t(512 << rng.NextBounded(4));
+  Relation rel(Schema::KeyPayload(16), page_size);
+  std::vector<std::vector<uint8_t>> oracle;
+  uint64_t n = 50 + rng.NextBounded(500);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint16_t len = uint16_t(8 + rng.NextBounded(100));
+    std::vector<uint8_t> tuple(len);
+    for (auto& b : tuple) b = uint8_t(rng.Next());
+    rel.Append(tuple.data(), len, uint32_t(i));
+    oracle.push_back(std::move(tuple));
+  }
+  ASSERT_EQ(rel.num_tuples(), oracle.size());
+  size_t i = 0;
+  rel.ForEachTuple([&](const uint8_t* t, uint16_t len, uint32_t hash) {
+    ASSERT_LT(i, oracle.size());
+    ASSERT_EQ(len, oracle[i].size());
+    ASSERT_EQ(std::memcmp(t, oracle[i].data(), len), 0) << i;
+    ASSERT_EQ(hash, uint32_t(i));
+    ++i;
+  });
+  EXPECT_EQ(i, oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationModelTest, ::testing::Range(0, 15));
+
+// ---------- simulator invariants over random traces ----------
+
+class SimInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimInvariantTest, BucketsPartitionTimeAndAccessesClassified) {
+  Rng rng(uint64_t(GetParam()) * 31337 + 5);
+  sim::SimConfig cfg;
+  cfg.l1d_size = 4096;
+  cfg.l2_size = 32768;
+  cfg.dtlb_entries = 4;
+  cfg.miss_handlers = 1 + uint32_t(rng.NextBounded(32));
+  cfg.memory_bandwidth_gap = 1 + uint32_t(rng.NextBounded(30));
+  cfg.memory_latency = 50 + uint32_t(rng.NextBounded(500));
+  if (rng.NextBool(0.3)) cfg.flush_period_cycles = 5000;
+  sim::MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(1 << 16);
+  uint64_t accesses = 0;
+  for (int i = 0; i < 3000; ++i) {
+    switch (rng.NextBounded(4)) {
+      case 0:
+        sim.Busy(uint32_t(rng.NextBounded(50)));
+        break;
+      case 1:
+        // 8-byte aligned so one access touches exactly one line.
+        sim.Access(buf.get() + (rng.NextBounded(1 << 16) & ~7ull), 8,
+                   rng.NextBool(0.5));
+        ++accesses;
+        break;
+      case 2:
+        sim.Prefetch(buf.get() + rng.NextBounded((1 << 16) - 8), 8);
+        break;
+      case 3:
+        sim.Branch(uint32_t(rng.NextBounded(8)), rng.NextBool(0.6));
+        break;
+    }
+  }
+  sim::SimStats s = sim.stats();
+  EXPECT_EQ(s.TotalCycles(), sim.now());
+  EXPECT_EQ(s.DemandLineAccesses(), accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimInvariantTest, ::testing::Range(0, 25));
+
+TEST(SimDeterminismTest, IdenticalTracesIdenticalStats) {
+  auto run = [] {
+    sim::MemorySim sim{sim::SimConfig{}};
+    auto buf = MakeAlignedBuffer<uint8_t>(1 << 14);
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+      sim.Busy(3);
+      sim.Access(buf.get() + rng.NextBounded((1 << 14) - 8), 8, false);
+      if (i % 3 == 0) {
+        sim.Prefetch(buf.get() + rng.NextBounded((1 << 14) - 8), 8);
+      }
+    }
+    return sim.stats();
+  };
+  sim::SimStats a = run();
+  sim::SimStats b = run();
+  EXPECT_EQ(a.TotalCycles(), b.TotalCycles());
+  EXPECT_EQ(a.full_misses, b.full_misses);
+  EXPECT_EQ(a.prefetch_hidden, b.prefetch_hidden);
+}
+
+// ---------- whole-join property sweep ----------
+
+struct JoinPropertyCase {
+  uint64_t seed;
+};
+
+class JoinPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinPropertyTest, RandomConfigurationJoinsExactly) {
+  Rng rng(uint64_t(GetParam()) * 65537 + 9);
+  WorkloadSpec spec;
+  spec.seed = rng.Next();
+  spec.num_build_tuples = 500 + rng.NextBounded(8000);
+  spec.tuple_size = uint32_t(12 + 4 * rng.NextBounded(32));  // 12..136
+  spec.matches_per_build = 0.5 + double(rng.NextBounded(7)) * 0.5;
+  spec.build_match_fraction = 0.25 + rng.NextDouble() * 0.75;
+  spec.probe_match_fraction = 0.25 + rng.NextDouble() * 0.75;
+  JoinWorkload w = GenerateJoinWorkload(spec);
+
+  GraceConfig config;
+  config.memory_budget = 32 * 1024 + rng.NextBounded(512 * 1024);
+  config.page_size = uint32_t(1024 << rng.NextBounded(4));
+  Scheme schemes[] = {Scheme::kBaseline, Scheme::kSimple, Scheme::kGroup,
+                      Scheme::kSwp};
+  config.partition_scheme = schemes[rng.NextBounded(4)];
+  config.join_scheme = schemes[rng.NextBounded(4)];
+  config.join_params.group_size = uint32_t(1 + rng.NextBounded(64));
+  config.join_params.prefetch_distance = uint32_t(1 + rng.NextBounded(16));
+  config.partition_params = config.join_params;
+  config.combined_partition = rng.NextBool(0.5);
+  switch (rng.NextBounded(3)) {
+    case 0:
+      config.cache_mode = GraceConfig::CacheMode::kNone;
+      break;
+    case 1:
+      config.cache_mode = GraceConfig::CacheMode::kDirect;
+      break;
+    case 2:
+      config.cache_mode = GraceConfig::CacheMode::kTwoStep;
+      break;
+  }
+  config.cache_budget = 16 * 1024 + rng.NextBounded(64 * 1024);
+
+  RealMemory mm;
+  JoinResult r = GraceHashJoin(mm, w.build, w.probe, config, nullptr);
+  EXPECT_EQ(r.output_tuples, w.expected_matches)
+      << "seed=" << GetParam() << " scheme=" << SchemeName(config.join_scheme)
+      << " parts=" << r.num_partitions;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinPropertyTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace hashjoin

@@ -1,0 +1,377 @@
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mem/memory_model.h"
+#include "simcache/branch.h"
+#include "simcache/cache.h"
+#include "simcache/memory_sim.h"
+#include "simcache/tlb.h"
+#include "util/aligned.h"
+
+namespace hashjoin {
+namespace sim {
+namespace {
+
+SimConfig SmallConfig() {
+  SimConfig cfg;
+  cfg.l1d_size = 4 * 1024;  // 4KB, 4-way, 64B lines -> 16 sets
+  cfg.l1d_assoc = 4;
+  cfg.l2_size = 64 * 1024;
+  cfg.l2_assoc = 8;
+  cfg.dtlb_entries = 8;
+  return cfg;
+}
+
+TEST(SetAssocCacheTest, MissThenHit) {
+  SetAssocCache c(4096, 4, 64);
+  EXPECT_EQ(c.Lookup(0), nullptr);
+  c.Insert(0);
+  EXPECT_NE(c.Lookup(0), nullptr);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCacheTest, LruEvictionWithinSet) {
+  SetAssocCache c(4096, 4, 64);  // 16 sets
+  // 5 lines mapping to set 0: addresses k * 16 * 64.
+  uint64_t stride = 16 * 64;
+  for (uint64_t i = 0; i < 5; ++i) c.Insert(i * stride);
+  // Line 0 was LRU and must be gone; lines 1..4 resident.
+  EXPECT_EQ(c.Lookup(0), nullptr);
+  for (uint64_t i = 1; i < 5; ++i) {
+    EXPECT_NE(c.Lookup(i * stride), nullptr) << i;
+  }
+}
+
+TEST(SetAssocCacheTest, LookupPromotesToMru) {
+  SetAssocCache c(4096, 4, 64);
+  uint64_t stride = 16 * 64;
+  for (uint64_t i = 0; i < 4; ++i) c.Insert(i * stride);
+  c.Lookup(0);                // line 0 becomes MRU
+  c.Insert(4 * stride);       // evicts line 1 (now LRU), not line 0
+  EXPECT_NE(c.Lookup(0), nullptr);
+  EXPECT_EQ(c.Lookup(1 * stride), nullptr);
+}
+
+TEST(SetAssocCacheTest, FlushEmptiesEverything) {
+  SetAssocCache c(4096, 4, 64);
+  for (uint64_t i = 0; i < 32; ++i) c.Insert(i * 64);
+  c.Flush();
+  for (uint64_t i = 0; i < 32; ++i) EXPECT_EQ(c.Lookup(i * 64), nullptr);
+}
+
+TEST(SetAssocCacheTest, EvictedBeforeUseCounted) {
+  SetAssocCache c(4096, 4, 64);
+  uint64_t stride = 16 * 64;
+  auto* info = c.Insert(0);
+  info->prefetched = true;  // prefetched, never referenced
+  for (uint64_t i = 1; i <= 4; ++i) c.Insert(i * stride);
+  EXPECT_EQ(c.evicted_before_use(), 1u);
+}
+
+TEST(SetAssocCacheTest, ReferencedPrefetchNotCountedOnEviction) {
+  SetAssocCache c(4096, 4, 64);
+  uint64_t stride = 16 * 64;
+  auto* info = c.Insert(0);
+  info->prefetched = true;
+  info->referenced = true;
+  for (uint64_t i = 1; i <= 4; ++i) c.Insert(i * stride);
+  EXPECT_EQ(c.evicted_before_use(), 0u);
+}
+
+TEST(TlbTest, MissInsertHit) {
+  Tlb tlb(4, 8192);
+  EXPECT_FALSE(tlb.Lookup(0));
+  tlb.Insert(0);
+  EXPECT_TRUE(tlb.Lookup(0));
+  EXPECT_TRUE(tlb.Lookup(100));  // same page
+  EXPECT_FALSE(tlb.Lookup(8192));
+}
+
+TEST(TlbTest, LruEviction) {
+  Tlb tlb(2, 8192);
+  tlb.Insert(0 * 8192);
+  tlb.Insert(1 * 8192);
+  tlb.Lookup(0);             // page 0 MRU
+  tlb.Insert(2 * 8192);      // evicts page 1
+  EXPECT_TRUE(tlb.Lookup(0));
+  EXPECT_FALSE(tlb.Lookup(1 * 8192));
+  EXPECT_TRUE(tlb.Lookup(2 * 8192));
+}
+
+TEST(TlbTest, FlushDropsAll) {
+  Tlb tlb(4, 8192);
+  tlb.Insert(0);
+  tlb.Flush();
+  EXPECT_FALSE(tlb.Lookup(0));
+}
+
+TEST(BranchPredictorTest, LearnsStableDirection) {
+  BranchPredictor p;
+  int mispredicts = 0;
+  for (int i = 0; i < 100; ++i) mispredicts += p.Record(1, true);
+  EXPECT_LE(mispredicts, 2);  // warms up quickly
+}
+
+TEST(BranchPredictorTest, AlternatingIsHard) {
+  BranchPredictor p;
+  int mispredicts = 0;
+  for (int i = 0; i < 100; ++i) mispredicts += p.Record(2, i % 2 == 0);
+  EXPECT_GT(mispredicts, 30);
+}
+
+// --- MemorySim ---
+
+TEST(MemorySimTest, BusyOnlyAccumulates) {
+  MemorySim sim(SmallConfig());
+  sim.Busy(100);
+  sim.Busy(50);
+  EXPECT_EQ(sim.stats().busy_cycles, 150u);
+  EXPECT_EQ(sim.now(), 150u);
+}
+
+TEST(MemorySimTest, CyclesPartitionTotalExactly) {
+  MemorySim sim(SmallConfig());
+  auto buf = MakeAlignedBuffer<uint8_t>(1 << 16);
+  for (int i = 0; i < 1000; ++i) {
+    sim.Busy(3);
+    sim.Access(buf.get() + (i * 97) % (1 << 16), 8, i % 3 == 0);
+    if (i % 7 == 0) sim.Prefetch(buf.get() + (i * 131) % (1 << 16), 64);
+    sim.Branch(i % 4, i % 5 == 0);
+  }
+  SimStats s = sim.stats();
+  EXPECT_EQ(s.TotalCycles(), sim.now());
+}
+
+TEST(MemorySimTest, ColdMissPaysFullLatency) {
+  SimConfig cfg = SmallConfig();
+  MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(4096);
+  // Warm the TLB so only the cache miss is charged.
+  sim.Prefetch(buf.get(), 1);
+  uint64_t before = sim.now();
+  // Access a different page-offset line... same page, uncached line.
+  sim.Access(buf.get() + 2048, 1, false);
+  SimStats s = sim.stats();
+  EXPECT_EQ(s.full_misses, 1u);
+  EXPECT_GE(sim.now() - before, cfg.memory_latency);
+}
+
+TEST(MemorySimTest, HitCostsNothing) {
+  MemorySim sim(SmallConfig());
+  auto buf = MakeAlignedBuffer<uint8_t>(64);
+  sim.Access(buf.get(), 8, false);
+  uint64_t after_first = sim.now();
+  sim.Access(buf.get(), 8, false);
+  EXPECT_EQ(sim.now(), after_first);
+  EXPECT_EQ(sim.stats().l1_hits, 1u);
+}
+
+TEST(MemorySimTest, PrefetchHidesLatencyWithEnoughWork) {
+  SimConfig cfg = SmallConfig();
+  MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(4096);
+  sim.Prefetch(buf.get(), 1);
+  sim.Busy(cfg.memory_latency + cfg.tlb_miss_latency + 10);
+  uint64_t before_stall = sim.stats().dcache_stall_cycles;
+  sim.Access(buf.get(), 8, false);
+  SimStats s = sim.stats();
+  EXPECT_EQ(s.prefetch_hidden, 1u);
+  EXPECT_EQ(s.dcache_stall_cycles, before_stall);
+}
+
+TEST(MemorySimTest, LatePrefetchPartiallyHides) {
+  SimConfig cfg = SmallConfig();
+  MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(4096);
+  sim.Prefetch(buf.get(), 1);
+  sim.Busy(10);  // much less than memory_latency
+  sim.Access(buf.get(), 8, false);
+  SimStats s = sim.stats();
+  EXPECT_EQ(s.prefetch_partial, 1u);
+  EXPECT_GT(s.dcache_stall_cycles, 0u);
+  EXPECT_LT(s.dcache_stall_cycles, cfg.memory_latency);
+}
+
+TEST(MemorySimTest, DemandTlbMissCharged) {
+  SimConfig cfg = SmallConfig();
+  MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(64);
+  sim.Access(buf.get(), 8, false);
+  EXPECT_EQ(sim.stats().tlb_misses, 1u);
+  EXPECT_EQ(sim.stats().dtlb_stall_cycles, cfg.tlb_miss_latency);
+}
+
+TEST(MemorySimTest, PrefetchInstallsTlbWithoutStall) {
+  SimConfig cfg = SmallConfig();
+  MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(64);
+  sim.Prefetch(buf.get(), 1);
+  EXPECT_EQ(sim.stats().dtlb_stall_cycles, 0u);
+  sim.Busy(cfg.memory_latency + 1);
+  sim.Access(buf.get(), 8, false);
+  EXPECT_EQ(sim.stats().tlb_misses, 0u);
+  EXPECT_EQ(sim.stats().dtlb_stall_cycles, 0u);
+}
+
+TEST(MemorySimTest, L2HitCheaperThanMemory) {
+  SimConfig cfg = SmallConfig();
+  MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(64 * 1024);
+  sim.Access(buf.get(), 1, false);  // into L1 + L2
+  // Evict from tiny L1 by touching many conflicting lines.
+  for (int i = 1; i <= 8; ++i) {
+    sim.Access(buf.get() + i * 4096, 1, false);
+  }
+  uint64_t stall_before = sim.stats().dcache_stall_cycles;
+  sim.Access(buf.get(), 1, false);  // L1 miss, L2 hit
+  uint64_t delta = sim.stats().dcache_stall_cycles - stall_before;
+  EXPECT_EQ(delta, cfg.l2_hit_latency);
+  EXPECT_GE(sim.stats().l2_hits, 1u);
+}
+
+TEST(MemorySimTest, BandwidthSerializesPipelinedMisses) {
+  SimConfig cfg = SmallConfig();
+  cfg.memory_bandwidth_gap = 40;
+  MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(1 << 15);
+  // Issue 16 prefetches back-to-back; the 16th starts no earlier than
+  // 15 * Tnext, so waiting for all takes ~ 15*Tnext + T.
+  for (int i = 0; i < 16; ++i) sim.Prefetch(buf.get() + i * 64, 1);
+  for (int i = 0; i < 16; ++i) sim.Access(buf.get() + i * 64, 1, false);
+  EXPECT_GE(sim.now(), 15u * cfg.memory_bandwidth_gap + cfg.memory_latency);
+}
+
+TEST(MemorySimTest, MshrLimitDelaysExcessPrefetches) {
+  SimConfig cfg = SmallConfig();
+  cfg.miss_handlers = 2;
+  cfg.memory_bandwidth_gap = 1;
+  MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(1 << 15);
+  for (int i = 0; i < 8; ++i) sim.Prefetch(buf.get() + i * 64, 1);
+  // With only 2 handlers the 8 transfers pipeline in pairs: the last
+  // completes no earlier than 4 * T.
+  sim.Access(buf.get() + 7 * 64, 1, false);
+  EXPECT_GE(sim.now(), 4u * cfg.memory_latency);
+}
+
+TEST(MemorySimTest, PeriodicFlushForcesRemisses) {
+  SimConfig cfg = SmallConfig();
+  cfg.flush_period_cycles = 1000;
+  MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(64);
+  sim.Access(buf.get(), 8, false);
+  EXPECT_EQ(sim.stats().full_misses, 1u);
+  sim.Busy(2000);  // cross the flush boundary
+  sim.Access(buf.get(), 8, false);
+  EXPECT_EQ(sim.stats().full_misses, 2u);
+  EXPECT_GE(sim.stats().tlb_misses, 2u);
+}
+
+TEST(MemorySimTest, NoFlushWhenDisabled) {
+  MemorySim sim(SmallConfig());
+  auto buf = MakeAlignedBuffer<uint8_t>(64);
+  sim.Access(buf.get(), 8, false);
+  sim.Busy(100000000);
+  sim.Access(buf.get(), 8, false);
+  EXPECT_EQ(sim.stats().full_misses, 1u);
+}
+
+TEST(MemorySimTest, BranchMispredictChargesOtherStall) {
+  SimConfig cfg = SmallConfig();
+  MemorySim sim(cfg);
+  // Alternating outcomes at one site mispredict often.
+  for (int i = 0; i < 100; ++i) sim.Branch(3, i % 2 == 0);
+  SimStats s = sim.stats();
+  EXPECT_GT(s.branch_mispredicts, 0u);
+  EXPECT_EQ(s.other_stall_cycles,
+            s.branch_mispredicts * cfg.branch_mispredict_penalty);
+}
+
+TEST(MemorySimTest, ResetStatsRebasesPrefetchArrivalTimes) {
+  SimConfig cfg = SmallConfig();
+  MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(4096);
+  sim.Prefetch(buf.get(), 1);
+  sim.Busy(cfg.memory_latency + 100);  // the line has long arrived
+  sim.ResetStats();
+  sim.Access(buf.get(), 8, false);
+  // The line completed before the reset: no stall may be charged on the
+  // re-based clock (regression: absolute ready_time leaking across
+  // ResetStats charged phantom stalls).
+  EXPECT_EQ(sim.stats().dcache_stall_cycles, 0u);
+}
+
+TEST(MemorySimTest, ResetStatsKeepsInFlightPrefetchInFlight) {
+  SimConfig cfg = SmallConfig();
+  MemorySim sim(cfg);
+  auto buf = MakeAlignedBuffer<uint8_t>(4096);
+  sim.Busy(50);
+  sim.Prefetch(buf.get(), 1);  // completes ~latency cycles from now
+  sim.ResetStats();
+  sim.Access(buf.get(), 8, false);  // still on its way: partial stall
+  SimStats s = sim.stats();
+  EXPECT_EQ(s.prefetch_partial, 1u);
+  EXPECT_GT(s.dcache_stall_cycles, 0u);
+  EXPECT_LE(s.dcache_stall_cycles, cfg.memory_latency);
+}
+
+TEST(MemorySimTest, ResetStatsPreservesCacheContents) {
+  MemorySim sim(SmallConfig());
+  auto buf = MakeAlignedBuffer<uint8_t>(64);
+  sim.Access(buf.get(), 8, false);
+  sim.ResetStats();
+  EXPECT_EQ(sim.stats().TotalCycles(), 0u);
+  sim.Access(buf.get(), 8, false);  // still cached
+  EXPECT_EQ(sim.stats().l1_hits, 1u);
+  EXPECT_EQ(sim.stats().full_misses, 0u);
+}
+
+TEST(MemorySimTest, MultiLineAccessTouchesEachLine) {
+  MemorySim sim(SmallConfig());
+  auto buf = MakeAlignedBuffer<uint8_t>(512);
+  sim.Access(buf.get(), 256, false);  // 4 lines
+  SimStats s = sim.stats();
+  EXPECT_EQ(s.DemandLineAccesses(), 4u);
+}
+
+TEST(MemorySimTest, StatsDiffIsExact) {
+  MemorySim sim(SmallConfig());
+  auto buf = MakeAlignedBuffer<uint8_t>(4096);
+  sim.Access(buf.get(), 8, false);
+  SimStats before = sim.stats();
+  sim.Busy(10);
+  sim.Access(buf.get() + 1024, 8, false);
+  SimStats delta = sim.stats() - before;
+  EXPECT_EQ(delta.busy_cycles, 10u);
+  EXPECT_EQ(delta.full_misses, 1u);
+}
+
+// --- memory model policies ---
+
+TEST(MemoryModelTest, RealMemoryCompilesToNoOps) {
+  RealMemory mm;
+  int x = 5;
+  mm.Busy(100);
+  mm.Read(&x, sizeof(x));
+  mm.Write(&x, sizeof(x));
+  mm.Prefetch(&x, sizeof(x));
+  mm.Branch(1, true);
+  EXPECT_FALSE(RealMemory::kSimulated);
+}
+
+TEST(MemoryModelTest, SimMemoryForwards) {
+  MemorySim sim(SmallConfig());
+  SimMemory mm(&sim);
+  auto buf = MakeAlignedBuffer<uint8_t>(64);
+  mm.Busy(5);
+  mm.Read(buf.get(), 8);
+  EXPECT_EQ(sim.stats().busy_cycles, 5u);
+  EXPECT_EQ(sim.stats().full_misses, 1u);
+  EXPECT_TRUE(SimMemory::kSimulated);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace hashjoin

@@ -1,0 +1,225 @@
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/aligned.h"
+#include "util/bitops.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace hashjoin {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk gone");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk gone");
+  EXPECT_EQ(s.ToString(), "IOError: disk gone");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kIOError, StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeToString(c), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  auto fn = []() -> Status {
+    HJ_RETURN_IF_ERROR(Status::Internal("boom"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fn().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) trues += rng.NextBool(0.3);
+  EXPECT_NEAR(double(trues) / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(v, orig);  // 1/10! chance of false failure
+}
+
+TEST(ZipfTest, InRangeAndSkewed) {
+  ZipfGenerator zipf(1000, 0.99, 3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = zipf.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // The hottest value should be much hotter than the median.
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 20000 / 100);  // >1% on a single key out of 1000
+}
+
+TEST(BitopsTest, PowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(64), 64u);
+  EXPECT_EQ(NextPowerOfTwo(65), 128u);
+}
+
+TEST(BitopsTest, Log2) {
+  EXPECT_EQ(Log2(1), 0u);
+  EXPECT_EQ(Log2(2), 1u);
+  EXPECT_EQ(Log2(1024), 10u);
+}
+
+TEST(BitopsTest, RelativelyPrime) {
+  EXPECT_TRUE(RelativelyPrime(9, 4));
+  EXPECT_FALSE(RelativelyPrime(9, 6));
+  EXPECT_TRUE(RelativelyPrime(7, 13));
+}
+
+TEST(BitopsTest, NextRelativelyPrimeProperties) {
+  for (uint64_t m : {2ull, 31ull, 800ull, 1000ull}) {
+    for (uint64_t v : {1ull, 10ull, 999ull, 4096ull}) {
+      uint64_t r = NextRelativelyPrime(v, m);
+      EXPECT_GE(r, v);
+      EXPECT_TRUE(RelativelyPrime(r, m)) << r << " vs " << m;
+    }
+  }
+}
+
+TEST(BitopsTest, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 64), 0u);
+  EXPECT_EQ(RoundUp(1, 64), 64u);
+  EXPECT_EQ(RoundUp(64, 64), 64u);
+  EXPECT_EQ(RoundUp(65, 64), 128u);
+}
+
+TEST(AlignedTest, AlignmentHonored) {
+  for (size_t align : {64ul, 4096ul, 8192ul}) {
+    void* p = AlignedAlloc(100, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+    AlignedFree(p);
+  }
+}
+
+TEST(AlignedTest, BufferIsUsable) {
+  auto buf = MakeAlignedBuffer<uint64_t>(128);
+  for (int i = 0; i < 128; ++i) buf[i] = i * 3;
+  for (int i = 0; i < 128; ++i) EXPECT_EQ(buf[i], uint64_t(i * 3));
+}
+
+TEST(FlagsTest, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=3",   "--beta", "4.5",
+                        "--gamma", "--name=abc"};
+  FlagParser flags;
+  flags.Parse(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0), 4.5);
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_EQ(flags.GetString("name", ""), "abc");
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer t;
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GE(t.ElapsedNanos(), 0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(StallTimerTest, Accumulates) {
+  StallTimer t;
+  t.Start();
+  t.Stop();
+  t.Start();
+  t.Stop();
+  EXPECT_GE(t.TotalNanos(), 0);
+  t.Reset();
+  EXPECT_EQ(t.TotalNanos(), 0);
+}
+
+}  // namespace
+}  // namespace hashjoin
