@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cpu_bound.dir/fig09_cpu_bound.cc.o"
+  "CMakeFiles/fig09_cpu_bound.dir/fig09_cpu_bound.cc.o.d"
+  "fig09_cpu_bound"
+  "fig09_cpu_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cpu_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

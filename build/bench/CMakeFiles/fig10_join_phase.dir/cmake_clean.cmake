@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_join_phase.dir/fig10_join_phase.cc.o"
+  "CMakeFiles/fig10_join_phase.dir/fig10_join_phase.cc.o.d"
+  "fig10_join_phase"
+  "fig10_join_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_join_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_partition_phase.dir/fig14_partition_phase.cc.o"
+  "CMakeFiles/fig14_partition_phase.dir/fig14_partition_phase.cc.o.d"
+  "fig14_partition_phase"
+  "fig14_partition_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_partition_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

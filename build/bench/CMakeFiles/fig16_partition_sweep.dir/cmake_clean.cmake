@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_partition_sweep.dir/fig16_partition_sweep.cc.o"
+  "CMakeFiles/fig16_partition_sweep.dir/fig16_partition_sweep.cc.o.d"
+  "fig16_partition_sweep"
+  "fig16_partition_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_partition_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

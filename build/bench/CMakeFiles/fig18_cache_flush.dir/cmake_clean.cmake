@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_cache_flush.dir/fig18_cache_flush.cc.o"
+  "CMakeFiles/fig18_cache_flush.dir/fig18_cache_flush.cc.o.d"
+  "fig18_cache_flush"
+  "fig18_cache_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_cache_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

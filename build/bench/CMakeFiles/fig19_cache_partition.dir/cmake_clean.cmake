@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_cache_partition.dir/fig19_cache_partition.cc.o"
+  "CMakeFiles/fig19_cache_partition.dir/fig19_cache_partition.cc.o.d"
+  "fig19_cache_partition"
+  "fig19_cache_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_cache_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_trend.dir/latency_trend.cc.o"
+  "CMakeFiles/latency_trend.dir/latency_trend.cc.o.d"
+  "latency_trend"
+  "latency_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_prefetch_bench.dir/naive_prefetch_bench.cc.o"
+  "CMakeFiles/naive_prefetch_bench.dir/naive_prefetch_bench.cc.o.d"
+  "naive_prefetch_bench"
+  "naive_prefetch_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_prefetch_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

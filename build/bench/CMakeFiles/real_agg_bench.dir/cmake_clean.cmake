@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_agg_bench.dir/real_agg_bench.cc.o"
+  "CMakeFiles/real_agg_bench.dir/real_agg_bench.cc.o.d"
+  "real_agg_bench"
+  "real_agg_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_agg_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_join_bench.dir/real_join_bench.cc.o"
+  "CMakeFiles/real_join_bench.dir/real_join_bench.cc.o.d"
+  "real_join_bench"
+  "real_join_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_join_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_partition_bench.dir/real_partition_bench.cc.o"
+  "CMakeFiles/real_partition_bench.dir/real_partition_bench.cc.o.d"
+  "real_partition_bench"
+  "real_partition_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_partition_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

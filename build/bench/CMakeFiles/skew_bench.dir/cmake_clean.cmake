@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_bench.dir/skew_bench.cc.o"
+  "CMakeFiles/skew_bench.dir/skew_bench.cc.o.d"
+  "skew_bench"
+  "skew_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

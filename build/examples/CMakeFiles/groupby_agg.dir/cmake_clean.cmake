@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_agg.dir/groupby_agg.cpp.o"
+  "CMakeFiles/groupby_agg.dir/groupby_agg.cpp.o.d"
+  "groupby_agg"
+  "groupby_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orders_lineitem.dir/orders_lineitem.cpp.o"
+  "CMakeFiles/orders_lineitem.dir/orders_lineitem.cpp.o.d"
+  "orders_lineitem"
+  "orders_lineitem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orders_lineitem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

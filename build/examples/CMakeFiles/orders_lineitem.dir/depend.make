@@ -1,0 +1,2 @@
+# Empty dependencies file for orders_lineitem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner.dir/tuner.cpp.o"
+  "CMakeFiles/tuner.dir/tuner.cpp.o.d"
+  "tuner"
+  "tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

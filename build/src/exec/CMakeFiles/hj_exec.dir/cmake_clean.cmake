@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_exec.dir/operators.cc.o"
+  "CMakeFiles/hj_exec.dir/operators.cc.o.d"
+  "libhj_exec.a"
+  "libhj_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/chained_hash_table.cc" "src/hash/CMakeFiles/hj_hash.dir/chained_hash_table.cc.o" "gcc" "src/hash/CMakeFiles/hj_hash.dir/chained_hash_table.cc.o.d"
+  "/root/repo/src/hash/hash_func.cc" "src/hash/CMakeFiles/hj_hash.dir/hash_func.cc.o" "gcc" "src/hash/CMakeFiles/hj_hash.dir/hash_func.cc.o.d"
+  "/root/repo/src/hash/hash_table.cc" "src/hash/CMakeFiles/hj_hash.dir/hash_table.cc.o" "gcc" "src/hash/CMakeFiles/hj_hash.dir/hash_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_hash.dir/chained_hash_table.cc.o"
+  "CMakeFiles/hj_hash.dir/chained_hash_table.cc.o.d"
+  "CMakeFiles/hj_hash.dir/hash_func.cc.o"
+  "CMakeFiles/hj_hash.dir/hash_func.cc.o.d"
+  "CMakeFiles/hj_hash.dir/hash_table.cc.o"
+  "CMakeFiles/hj_hash.dir/hash_table.cc.o.d"
+  "libhj_hash.a"
+  "libhj_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_join.dir/grace.cc.o"
+  "CMakeFiles/hj_join.dir/grace.cc.o.d"
+  "CMakeFiles/hj_join.dir/grace_disk.cc.o"
+  "CMakeFiles/hj_join.dir/grace_disk.cc.o.d"
+  "libhj_join.a"
+  "libhj_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_model.dir/cost_model.cc.o"
+  "CMakeFiles/hj_model.dir/cost_model.cc.o.d"
+  "libhj_model.a"
+  "libhj_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcache/cache.cc" "src/simcache/CMakeFiles/hj_simcache.dir/cache.cc.o" "gcc" "src/simcache/CMakeFiles/hj_simcache.dir/cache.cc.o.d"
+  "/root/repo/src/simcache/memory_sim.cc" "src/simcache/CMakeFiles/hj_simcache.dir/memory_sim.cc.o" "gcc" "src/simcache/CMakeFiles/hj_simcache.dir/memory_sim.cc.o.d"
+  "/root/repo/src/simcache/stats.cc" "src/simcache/CMakeFiles/hj_simcache.dir/stats.cc.o" "gcc" "src/simcache/CMakeFiles/hj_simcache.dir/stats.cc.o.d"
+  "/root/repo/src/simcache/tlb.cc" "src/simcache/CMakeFiles/hj_simcache.dir/tlb.cc.o" "gcc" "src/simcache/CMakeFiles/hj_simcache.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

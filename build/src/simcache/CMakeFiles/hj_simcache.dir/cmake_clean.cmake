@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_simcache.dir/cache.cc.o"
+  "CMakeFiles/hj_simcache.dir/cache.cc.o.d"
+  "CMakeFiles/hj_simcache.dir/memory_sim.cc.o"
+  "CMakeFiles/hj_simcache.dir/memory_sim.cc.o.d"
+  "CMakeFiles/hj_simcache.dir/stats.cc.o"
+  "CMakeFiles/hj_simcache.dir/stats.cc.o.d"
+  "CMakeFiles/hj_simcache.dir/tlb.cc.o"
+  "CMakeFiles/hj_simcache.dir/tlb.cc.o.d"
+  "libhj_simcache.a"
+  "libhj_simcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_simcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

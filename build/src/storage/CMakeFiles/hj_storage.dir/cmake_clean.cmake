@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_storage.dir/buffer_manager.cc.o"
+  "CMakeFiles/hj_storage.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/hj_storage.dir/disk.cc.o"
+  "CMakeFiles/hj_storage.dir/disk.cc.o.d"
+  "CMakeFiles/hj_storage.dir/relation.cc.o"
+  "CMakeFiles/hj_storage.dir/relation.cc.o.d"
+  "CMakeFiles/hj_storage.dir/schema.cc.o"
+  "CMakeFiles/hj_storage.dir/schema.cc.o.d"
+  "CMakeFiles/hj_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/hj_storage.dir/slotted_page.cc.o.d"
+  "libhj_storage.a"
+  "libhj_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

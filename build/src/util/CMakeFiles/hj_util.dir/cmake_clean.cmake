@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_util.dir/aligned.cc.o"
+  "CMakeFiles/hj_util.dir/aligned.cc.o.d"
+  "CMakeFiles/hj_util.dir/flags.cc.o"
+  "CMakeFiles/hj_util.dir/flags.cc.o.d"
+  "CMakeFiles/hj_util.dir/logging.cc.o"
+  "CMakeFiles/hj_util.dir/logging.cc.o.d"
+  "CMakeFiles/hj_util.dir/random.cc.o"
+  "CMakeFiles/hj_util.dir/random.cc.o.d"
+  "CMakeFiles/hj_util.dir/status.cc.o"
+  "CMakeFiles/hj_util.dir/status.cc.o.d"
+  "libhj_util.a"
+  "libhj_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

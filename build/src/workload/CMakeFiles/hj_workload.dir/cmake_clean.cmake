@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hj_workload.dir/generator.cc.o"
+  "CMakeFiles/hj_workload.dir/generator.cc.o.d"
+  "libhj_workload.a"
+  "libhj_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hj_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grace_disk_test.dir/grace_disk_test.cc.o"
+  "CMakeFiles/grace_disk_test.dir/grace_disk_test.cc.o.d"
+  "grace_disk_test"
+  "grace_disk_test.pdb"
+  "grace_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grace_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_kernels_test.dir/join_kernels_test.cc.o"
+  "CMakeFiles/join_kernels_test.dir/join_kernels_test.cc.o.d"
+  "join_kernels_test"
+  "join_kernels_test.pdb"
+  "join_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_sim_crosscheck_test.dir/model_sim_crosscheck_test.cc.o"
+  "CMakeFiles/model_sim_crosscheck_test.dir/model_sim_crosscheck_test.cc.o.d"
+  "model_sim_crosscheck_test"
+  "model_sim_crosscheck_test.pdb"
+  "model_sim_crosscheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_sim_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simcache_test.cc" "tests/CMakeFiles/simcache_test.dir/simcache_test.cc.o" "gcc" "tests/CMakeFiles/simcache_test.dir/simcache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/hj_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/hj_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcache/CMakeFiles/hj_simcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/hj_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hj_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hj_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hj_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcache_test.dir/simcache_test.cc.o"
+  "CMakeFiles/simcache_test.dir/simcache_test.cc.o.d"
+  "simcache_test"
+  "simcache_test.pdb"
+  "simcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
