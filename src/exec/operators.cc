@@ -219,6 +219,69 @@ bool HashJoinOperator::Next(RowBatch* out) {
   return true;
 }
 
+// ---------- GraceJoinOperator ----------
+
+GraceJoinOperator::GraceJoinOperator(std::unique_ptr<Operator> build_child,
+                                     std::unique_ptr<Operator> probe_child,
+                                     GraceConfig config, uint32_t batch_size)
+    : build_child_(std::move(build_child)),
+      probe_child_(std::move(probe_child)),
+      config_(config),
+      batch_size_(batch_size),
+      output_schema_(ConcatSchema(build_child_->output_schema(),
+                                  probe_child_->output_schema())),
+      build_side_(build_child_->output_schema(), config.page_size),
+      probe_side_(probe_child_->output_schema(), config.page_size),
+      output_(output_schema_, config.page_size) {
+  HJ_CHECK(batch_size_ >= 1);
+}
+
+Status GraceJoinOperator::Open() {
+  HJ_RETURN_IF_ERROR(build_child_->Open());
+  HJ_RETURN_IF_ERROR(probe_child_->Open());
+
+  // Materialize both children with memoized hash codes, as the GRACE
+  // partition phase expects from its scan inputs.
+  auto drain = [](Operator* child, Relation* dest) {
+    RowBatch batch;
+    while (child->Next(&batch)) {
+      for (const RowBatch::Row& row : batch.rows) {
+        uint32_t key;
+        std::memcpy(&key, row.data, 4);
+        dest->Append(row.data, row.length, HashKey32(key));
+      }
+    }
+  };
+  drain(build_child_.get(), &build_side_);
+  drain(probe_child_.get(), &probe_side_);
+
+  output_.Clear();
+  result_ = JoinResult{};
+  RealMemory mm;
+  result_ = GraceHashJoin(mm, build_side_, probe_side_, config_, &output_);
+  out_page_ = 0;
+  out_slot_ = 0;
+  return Status::OK();
+}
+
+bool GraceJoinOperator::Next(RowBatch* out) {
+  out->Clear();
+  while (out->rows.size() < batch_size_) {
+    if (out_page_ >= output_.num_pages()) break;
+    const SlottedPage page = output_.page(out_page_);
+    if (out_slot_ >= page.slot_count()) {
+      ++out_page_;
+      out_slot_ = 0;
+      continue;
+    }
+    uint16_t len = 0;
+    const uint8_t* data = page.GetTuple(out_slot_, &len);
+    out->rows.push_back({data, len});
+    ++out_slot_;
+  }
+  return !out->empty();
+}
+
 // ---------- AggregateOperator ----------
 
 AggregateOperator::AggregateOperator(std::unique_ptr<Operator> child,

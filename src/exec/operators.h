@@ -7,6 +7,7 @@
 #include "exec/operator.h"
 #include "hash/hash_table.h"
 #include "join/aggregate_kernels.h"
+#include "join/grace.h"
 #include "join/join_common.h"
 #include "storage/relation.h"
 
@@ -107,6 +108,41 @@ class HashJoinOperator : public Operator {
   Relation out_buffer_;          // current batch's output rows
   uint64_t rows_joined_ = 0;
   uint32_t build_row_size_ = 0;
+};
+
+/// Blocking GRACE hash-join operator: Open() drains both children into
+/// materialized relations and runs the full partitioned join through the
+/// morsel-parallel executor (`config.num_threads` workers joining
+/// independent partition pairs); Next() streams the materialized output.
+/// This is the operator-tree entry point to everything GraceConfig
+/// offers — partitioning plans, cache modes, and multi-threading —
+/// where HashJoinOperator is the single-partition pipelined form.
+class GraceJoinOperator : public Operator {
+ public:
+  GraceJoinOperator(std::unique_ptr<Operator> build_child,
+                    std::unique_ptr<Operator> probe_child,
+                    GraceConfig config = GraceConfig{},
+                    uint32_t batch_size = 64);
+
+  Status Open() override;
+  bool Next(RowBatch* out) override;
+  const Schema& output_schema() const override { return output_schema_; }
+
+  uint64_t rows_joined() const { return result_.output_tuples; }
+  const JoinResult& join_result() const { return result_; }
+
+ private:
+  std::unique_ptr<Operator> build_child_;
+  std::unique_ptr<Operator> probe_child_;
+  GraceConfig config_;
+  uint32_t batch_size_;
+  Schema output_schema_;
+  Relation build_side_;
+  Relation probe_side_;
+  Relation output_;
+  JoinResult result_;
+  size_t out_page_ = 0;
+  int out_slot_ = 0;
 };
 
 /// Blocking hash aggregation: COUNT(*) and SUM of an int64 column per

@@ -45,7 +45,7 @@ PartitionPlan PlanPartitionPasses(uint32_t wanted, uint32_t max_active) {
 }
 
 uint64_t ChooseBucketCount(uint64_t partition_tuples,
-                           uint32_t num_partitions) {
+                           uint64_t num_partitions) {
   uint64_t target = std::max<uint64_t>(partition_tuples, 3);
   return NextRelativelyPrime(target, num_partitions);
 }

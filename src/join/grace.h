@@ -1,7 +1,10 @@
 #ifndef HASHJOIN_JOIN_GRACE_H_
 #define HASHJOIN_JOIN_GRACE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <numeric>
 #include <vector>
 
 #include "join/build_kernels.h"
@@ -12,6 +15,7 @@
 #include "model/cost_model.h"
 #include "storage/relation.h"
 #include "util/bitops.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace hashjoin {
@@ -55,6 +59,15 @@ struct GraceConfig {
   /// positive cap triggers multi-pass partitioning when the required
   /// partition count exceeds it. Supports up to cap² final partitions.
   uint32_t max_active_partitions = 0;
+
+  /// Worker threads of the morsel-parallel executor (1 = the paper's
+  /// serial path, byte-for-byte unchanged). The join phase dispatches
+  /// (build, probe) partition pairs as morsels, largest first; the
+  /// partition phase splits each input's pages across workers, each with
+  /// its own PartitionSinkSet, and concatenates per-worker partitions at
+  /// the end. Prefetch-scheme correctness is unaffected: each worker
+  /// runs the unchanged single-threaded kernels on disjoint data.
+  uint32_t num_threads = 1;
 };
 
 /// Partition count such that one partition of `data_bytes` total bytes
@@ -65,9 +78,11 @@ uint32_t ComputeNumPartitions(uint64_t num_tuples, uint64_t data_bytes,
 /// Hash table bucket count for a partition: close to its tuple count and
 /// relatively prime to the partition count, so bucket assignment stays
 /// uniform although all hash codes in partition p are congruent to p
-/// (§7.1).
+/// (§7.1). For two-step cache partitioning the caller passes the product
+/// of both level counts: a sub-partition's hash codes are constrained
+/// modulo num_parts * sub_parts.
 uint64_t ChooseBucketCount(uint64_t partition_tuples,
-                           uint32_t num_partitions);
+                           uint64_t num_partitions);
 
 /// Schema of the join output: build columns followed by probe columns.
 Schema ConcatSchema(const Schema& build, const Schema& probe);
@@ -88,22 +103,62 @@ PhaseResult MeasurePhase(MM& mm, Fn&& fn) {
   return r;
 }
 
-}  // namespace internal_grace
-
-namespace internal_grace {
-
-/// Runs one partition pass with the configured scheme.
+/// Runs one partition pass with the configured scheme over `range` of
+/// the input (the full relation by default).
 template <typename MM>
 void RunOnePass(MM& mm, const GraceConfig& config, const Relation& input,
                 std::vector<Relation>* dests, uint32_t parts,
-                uint32_t divisor) {
+                uint32_t divisor, PageRange range = PageRange{}) {
   PartitionSinkSet sinks(dests, config.page_size);
   if (config.combined_partition) {
     PartitionCombined(mm, input, &sinks, parts, config.partition_params,
-                      config.l2_bytes, config.partition_scheme, divisor);
+                      config.l2_bytes, config.partition_scheme, divisor,
+                      range);
   } else {
     PartitionRelation(mm, config.partition_scheme, input, &sinks, parts,
-                      config.partition_params, divisor);
+                      config.partition_params, divisor, range);
+  }
+}
+
+/// Parallel single partition pass: each worker partitions a disjoint
+/// contiguous page range of the input through its own PartitionSinkSet
+/// and memory model, then the per-worker partitions are concatenated
+/// (the "final sink merge") in worker order, keeping results
+/// deterministic for a fixed thread count.
+template <typename MM>
+void ParallelOnePass(ThreadPool& pool, WorkerMemorySet<MM>& wmem,
+                     const GraceConfig& config, const Relation& input,
+                     std::vector<Relation>* dests, uint32_t parts,
+                     uint32_t divisor) {
+  const uint32_t workers = pool.num_workers();
+  const size_t pages = input.num_pages();
+  const size_t chunk = (pages + workers - 1) / workers;
+
+  // Per-worker destination sets, indexed [worker][partition].
+  std::vector<std::vector<Relation>> locals(workers);
+  for (uint32_t w = 0; w < workers; ++w) {
+    locals[w].reserve(parts);
+    for (uint32_t p = 0; p < parts; ++p) {
+      locals[w].emplace_back(input.schema(), config.page_size);
+    }
+  }
+  for (uint32_t w = 0; w < workers; ++w) {
+    PageRange range{std::min(size_t(w) * chunk, pages),
+                    std::min((size_t(w) + 1) * chunk, pages)};
+    if (range.begin >= range.end) continue;
+    pool.Submit([&, range](uint32_t wid) {
+      // The page split fixes which input chunk this task covers; sinks
+      // and the memory model are per-*worker*, so a stolen task still
+      // writes only worker-local state.
+      RunOnePass(wmem.model(wid), config, input, &locals[wid], parts,
+                 divisor, range);
+    });
+  }
+  pool.Wait();
+  for (uint32_t w = 0; w < workers; ++w) {
+    for (uint32_t p = 0; p < parts; ++p) {
+      (*dests)[p].Absorb(&locals[w][p]);
+    }
   }
 }
 
@@ -128,51 +183,154 @@ PartitionPlan PlanPartitionPasses(uint32_t wanted, uint32_t max_active);
 /// partition p1 * pass2 + p2 holds tuples with hash % pass1 == p1 and
 /// (hash / pass1) % pass2 == p2 — identical for build and probe, so
 /// pairs still align.
+///
+/// With a thread pool (`pool` non-null), the first pass splits the input
+/// pages across workers; a multi-pass plan's second pass runs one coarse
+/// partition per morsel.
 template <typename MM>
 void PartitionWithPlan(MM& mm, const GraceConfig& config,
                        const Relation& input, const PartitionPlan& plan,
-                       std::vector<Relation>* out) {
+                       std::vector<Relation>* out,
+                       ThreadPool* pool = nullptr,
+                       WorkerMemorySet<MM>* wmem = nullptr) {
   out->clear();
   if (!plan.MultiPass()) {
     uint32_t parts = plan.FinalParts();
     for (uint32_t p = 0; p < parts; ++p) {
       out->emplace_back(input.schema(), config.page_size);
     }
-    internal_grace::RunOnePass(mm, config, input, out, parts, 1);
+    if (pool != nullptr) {
+      internal_grace::ParallelOnePass(*pool, *wmem, config, input, out,
+                                      parts, 1);
+    } else {
+      internal_grace::RunOnePass(mm, config, input, out, parts, 1);
+    }
     return;
   }
   std::vector<Relation> coarse;
   for (uint32_t p = 0; p < plan.pass1; ++p) {
     coarse.emplace_back(input.schema(), config.page_size);
   }
-  internal_grace::RunOnePass(mm, config, input, &coarse, plan.pass1, 1);
-  for (uint32_t p1 = 0; p1 < plan.pass1; ++p1) {
+  if (pool != nullptr) {
+    internal_grace::ParallelOnePass(*pool, *wmem, config, input, &coarse,
+                                    plan.pass1, 1);
+  } else {
+    internal_grace::RunOnePass(mm, config, input, &coarse, plan.pass1, 1);
+  }
+  for (uint32_t p = 0; p < plan.FinalParts(); ++p) {
+    out->emplace_back(input.schema(), config.page_size);
+  }
+  auto second_pass = [&](MM& pass_mm, uint32_t p1) {
     std::vector<Relation> fine;
     for (uint32_t p2 = 0; p2 < plan.pass2; ++p2) {
       fine.emplace_back(input.schema(), config.page_size);
     }
-    internal_grace::RunOnePass(mm, config, coarse[p1], &fine, plan.pass2,
-                               plan.pass1);
+    internal_grace::RunOnePass(pass_mm, config, coarse[p1], &fine,
+                               plan.pass2, plan.pass1);
     coarse[p1].Clear();
-    for (auto& f : fine) out->push_back(std::move(f));
+    for (uint32_t p2 = 0; p2 < plan.pass2; ++p2) {
+      (*out)[p1 * plan.pass2 + p2] = std::move(fine[p2]);
+    }
+  };
+  if (pool != nullptr) {
+    // Each coarse partition is an independent morsel writing disjoint
+    // `out` slots.
+    for (uint32_t p1 = 0; p1 < plan.pass1; ++p1) {
+      pool->Submit([&, p1](uint32_t wid) {
+        second_pass(wmem->model(wid), p1);
+      });
+    }
+    pool->Wait();
+  } else {
+    for (uint32_t p1 = 0; p1 < plan.pass1; ++p1) second_pass(mm, p1);
   }
 }
 
 /// Joins one (build partition, probe partition) pair entirely in memory:
 /// builds the hash table with `join_scheme`, then probes. Returns the
-/// number of output tuples appended to `out`.
+/// number of output tuples appended to `out`. `hash_constraint` is the
+/// modulus all hash codes of this partition are constrained by (the
+/// partition count, or both level counts multiplied for two-step cache
+/// partitioning); the bucket count is chosen relatively prime to it.
 template <typename MM>
 uint64_t JoinPartitionPair(MM& mm, Scheme scheme, const Relation& build_part,
                            const Relation& probe_part,
                            const KernelParams& params,
-                           uint32_t num_partitions, Relation* out) {
+                           uint64_t hash_constraint, Relation* out) {
   if (build_part.num_tuples() == 0 || probe_part.num_tuples() == 0) {
     return 0;
   }
-  HashTable ht(ChooseBucketCount(build_part.num_tuples(), num_partitions));
+  HashTable ht(ChooseBucketCount(build_part.num_tuples(), hash_constraint));
   BuildPartition(mm, scheme, build_part, &ht, params);
   return ProbePartition(mm, scheme, probe_part, ht,
                         build_part.schema().fixed_size(), params, out);
+}
+
+/// The two-step cache mode's join-phase preprocessing (§7.5): an
+/// in-memory partition pass splitting one memory-sized pair into
+/// cache-sized sub-partition pairs. Every tuple of partition p already
+/// satisfies hash % num_parts == p, so the sub-partition number must
+/// come from the *quotient* hash / num_parts — splitting on
+/// hash % sub_parts would leave sub-partitions skewed or empty whenever
+/// sub_parts shares a factor with num_parts. Returns the sub-partition
+/// count.
+template <typename MM>
+uint32_t TwoStepSubPartition(MM& mm, const GraceConfig& config,
+                             uint32_t num_parts, const Relation& build_part,
+                             const Relation& probe_part,
+                             std::vector<Relation>* sub_build,
+                             std::vector<Relation>* sub_probe) {
+  uint32_t sub_parts = ComputeNumPartitions(build_part.num_tuples(),
+                                            build_part.data_bytes(),
+                                            config.cache_budget);
+  sub_build->clear();
+  sub_probe->clear();
+  for (uint32_t s = 0; s < sub_parts; ++s) {
+    sub_build->emplace_back(build_part.schema(), config.page_size);
+    sub_probe->emplace_back(probe_part.schema(), config.page_size);
+  }
+  {
+    PartitionSinkSet sinks(sub_build, config.page_size);
+    PartitionCombined(mm, build_part, &sinks, sub_parts,
+                      config.partition_params, config.l2_bytes,
+                      config.partition_scheme,
+                      /*hash_divisor=*/num_parts);
+  }
+  {
+    PartitionSinkSet sinks(sub_probe, config.page_size);
+    PartitionCombined(mm, probe_part, &sinks, sub_parts,
+                      config.partition_params, config.l2_bytes,
+                      config.partition_scheme,
+                      /*hash_divisor=*/num_parts);
+  }
+  return sub_parts;
+}
+
+/// Join-phase work for one partition pair, including the two-step cache
+/// mode's in-memory re-partition preprocessing (§7.5). This is the unit
+/// the parallel executor dispatches as a morsel.
+template <typename MM>
+uint64_t JoinGracePartition(MM& mm, const GraceConfig& config,
+                            uint32_t num_parts, const Relation& build_part,
+                            const Relation& probe_part, Relation* out) {
+  if (config.cache_mode != GraceConfig::CacheMode::kTwoStep) {
+    return JoinPartitionPair(mm, config.join_scheme, build_part,
+                             probe_part, config.join_params, num_parts,
+                             out);
+  }
+  std::vector<Relation> sub_build;
+  std::vector<Relation> sub_probe;
+  uint32_t sub_parts = TwoStepSubPartition(mm, config, num_parts,
+                                           build_part, probe_part,
+                                           &sub_build, &sub_probe);
+  uint64_t produced = 0;
+  for (uint32_t s = 0; s < sub_parts; ++s) {
+    // Sub-partition hash codes are constrained modulo both levels.
+    produced += JoinPartitionPair(mm, config.join_scheme, sub_build[s],
+                                  sub_probe[s], config.join_params,
+                                  uint64_t(num_parts) * sub_parts, out);
+  }
+  return produced;
 }
 
 /// The full GRACE hash join (§2): an I/O partition phase dividing both
@@ -180,11 +338,19 @@ uint64_t JoinPartitionPair(MM& mm, Scheme scheme, const Relation& build_part,
 /// modes) partitions, followed by a join phase processing each pair with
 /// in-memory hash tables. `output` receives the concatenated result
 /// tuples; pass nullptr to count matches without retaining them.
+///
+/// With config.num_threads > 1 both phases run on a work-stealing pool:
+/// partition pairs become morsels sorted largest-first (bounding tail
+/// latency under partition-size skew), every worker records into its own
+/// memory model and output sink, and worker results are merged after
+/// each phase — so output counts and simulated totals are independent of
+/// the thread count.
 template <typename MM>
 JoinResult GraceHashJoin(MM& mm, const Relation& build,
                          const Relation& probe, const GraceConfig& config,
                          Relation* output) {
   JoinResult result;
+  const uint32_t threads = std::max(1u, config.num_threads);
 
   // --- sizing ---
   uint64_t budget = config.memory_budget;
@@ -205,55 +371,73 @@ JoinResult GraceHashJoin(MM& mm, const Relation& build,
                    config.page_size);
   Relation* out = output != nullptr ? output : &discard;
 
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
   // --- partition phase (both relations) ---
   std::vector<Relation> build_parts;
   std::vector<Relation> probe_parts;
   result.partition_phase = internal_grace::MeasurePhase(mm, [&] {
-    PartitionWithPlan(mm, config, build, plan, &build_parts);
-    PartitionWithPlan(mm, config, probe, plan, &probe_parts);
+    if (pool != nullptr) {
+      WorkerMemorySet<MM> wmem(mm, threads);
+      PartitionWithPlan(mm, config, build, plan, &build_parts, pool.get(),
+                        &wmem);
+      PartitionWithPlan(mm, config, probe, plan, &probe_parts, pool.get(),
+                        &wmem);
+      wmem.MergeInto(mm);
+    } else {
+      PartitionWithPlan(mm, config, build, plan, &build_parts);
+      PartitionWithPlan(mm, config, probe, plan, &probe_parts);
+    }
   });
   result.partition_phase.tuples_processed =
       build.num_tuples() + probe.num_tuples();
 
   // --- join phase ---
   result.join_phase = internal_grace::MeasurePhase(mm, [&] {
-    for (uint32_t p = 0; p < num_parts; ++p) {
-      if (config.cache_mode == GraceConfig::CacheMode::kTwoStep) {
-        // Second, in-memory partition pass to cache-sized partitions
-        // (join-phase preprocessing, §7.5 "two-step cache").
-        uint32_t sub_parts = ComputeNumPartitions(
-            build_parts[p].num_tuples(), build_parts[p].data_bytes(),
-            config.cache_budget);
-        std::vector<Relation> sub_build;
-        std::vector<Relation> sub_probe;
-        for (uint32_t s = 0; s < sub_parts; ++s) {
-          sub_build.emplace_back(build.schema(), config.page_size);
-          sub_probe.emplace_back(probe.schema(), config.page_size);
-        }
-        {
-          PartitionSinkSet sinks(&sub_build, config.page_size);
-          PartitionCombined(mm, build_parts[p], &sinks, sub_parts,
-                            config.partition_params, config.l2_bytes,
-                            config.partition_scheme);
-        }
-        {
-          PartitionSinkSet sinks(&sub_probe, config.page_size);
-          PartitionCombined(mm, probe_parts[p], &sinks, sub_parts,
-                            config.partition_params, config.l2_bytes,
-                            config.partition_scheme);
-        }
-        for (uint32_t s = 0; s < sub_parts; ++s) {
-          result.output_tuples += JoinPartitionPair(
-              mm, config.join_scheme, sub_build[s], sub_probe[s],
-              config.join_params, sub_parts, out);
-        }
-      } else {
-        result.output_tuples += JoinPartitionPair(
-            mm, config.join_scheme, build_parts[p], probe_parts[p],
-            config.join_params, num_parts, out);
+    if (pool == nullptr) {
+      for (uint32_t p = 0; p < num_parts; ++p) {
+        result.output_tuples += JoinGracePartition(
+            mm, config, num_parts, build_parts[p], probe_parts[p], out);
+        if (output == nullptr) discard.Clear();
       }
-      if (output == nullptr) discard.Clear();
+      return;
     }
+    // Morsel schedule: one task per (build, probe) partition pair,
+    // largest pairs first so a straggler partition starts early and the
+    // tail under skew is bounded by one morsel, not one thread's share.
+    std::vector<uint32_t> order(num_parts);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      uint64_t sa = build_parts[a].data_bytes() + probe_parts[a].data_bytes();
+      uint64_t sb = build_parts[b].data_bytes() + probe_parts[b].data_bytes();
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+    WorkerMemorySet<MM> wmem(mm, threads);
+    std::vector<Relation> worker_out;
+    std::vector<uint64_t> worker_counts(threads, 0);
+    worker_out.reserve(threads);
+    for (uint32_t w = 0; w < threads; ++w) {
+      worker_out.emplace_back(out->schema(), out->page_size());
+    }
+    for (uint32_t p : order) {
+      pool->Submit([&, p](uint32_t wid) {
+        worker_counts[wid] += JoinGracePartition(
+            wmem.model(wid), config, num_parts, build_parts[p],
+            probe_parts[p], &worker_out[wid]);
+        if (output == nullptr) worker_out[wid].Clear();
+      });
+    }
+    pool->Wait();
+    for (uint32_t w = 0; w < threads; ++w) {
+      result.output_tuples += worker_counts[w];
+      if (output != nullptr) output->Absorb(&worker_out[w]);
+      if constexpr (MM::kSimulated) {
+        result.per_thread_join_sim.push_back(wmem.WorkerStats(w));
+      }
+    }
+    wmem.MergeInto(mm);
   });
   result.join_phase.tuples_processed =
       build.num_tuples() + probe.num_tuples();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "simcache/stats.h"
 #include "storage/relation.h"
@@ -54,6 +55,18 @@ struct JoinResult {
   PhaseResult join_phase;  // includes any in-memory re-partition step
   uint64_t output_tuples = 0;
   uint32_t num_partitions = 0;
+  /// Join-phase counters per worker thread (simulated runs with
+  /// num_threads > 1 only): each worker's share of the merged stats, for
+  /// per-thread stall breakdowns and load-balance analysis.
+  std::vector<sim::SimStats> per_thread_join_sim;
+};
+
+/// Half-open page range of an input relation. The default covers the
+/// whole relation; the parallel partition phase splits an input into
+/// one disjoint range per worker.
+struct PageRange {
+  size_t begin = 0;
+  size_t end = SIZE_MAX;
 };
 
 /// Streams (slot, tuple) pairs over a relation's pages in order. The
@@ -62,7 +75,17 @@ struct JoinResult {
 /// prefetching scheme prefetches whole input pages, §6).
 class TupleCursor {
  public:
-  explicit TupleCursor(const Relation& rel) : rel_(&rel) {}
+  explicit TupleCursor(const Relation& rel)
+      : rel_(&rel), page_index_(0), end_page_(rel.num_pages()) {}
+
+  /// Cursor over the half-open page range [begin_page, end_page). The
+  /// parallel partition phase hands each worker a disjoint page range of
+  /// the same input relation.
+  TupleCursor(const Relation& rel, size_t begin_page, size_t end_page)
+      : rel_(&rel),
+        page_index_(begin_page),
+        end_page_(end_page < rel.num_pages() ? end_page
+                                             : rel.num_pages()) {}
 
   /// Advances to the next tuple. Returns false at end of relation.
   /// `*new_page` (optional) is set true when this tuple is the first of
@@ -70,7 +93,7 @@ class TupleCursor {
   bool Next(const SlottedPage::Slot** slot, const uint8_t** tuple,
             bool* new_page = nullptr) {
     while (true) {
-      if (page_index_ >= rel_->num_pages()) return false;
+      if (page_index_ >= end_page_) return false;
       const SlottedPage page = rel_->page(page_index_);
       if (slot_index_ >= page.slot_count()) {
         ++page_index_;
@@ -95,6 +118,7 @@ class TupleCursor {
  private:
   const Relation* rel_;
   size_t page_index_ = 0;
+  size_t end_page_ = 0;
   int slot_index_ = 0;
 };
 

@@ -135,12 +135,13 @@ struct PartitionContext {
   TupleCursor cursor;
 
   PartitionContext(MM* mm_in, PartitionSinkSet* sinks_in, uint32_t p,
-                   const Relation& input, uint32_t divisor = 1)
+                   const Relation& input, uint32_t divisor = 1,
+                   PageRange range = PageRange{})
       : mm(mm_in),
         sinks(sinks_in),
         num_partitions(p),
         hash_divisor(divisor == 0 ? 1 : divisor),
-        cursor(input) {}
+        cursor(input, range.begin, range.end) {}
 };
 
 /// Per-tuple pipeline state for the prefetching partition kernels.
@@ -258,9 +259,10 @@ template <typename MM>
 void PartitionBaseline(MM& mm, const Relation& input,
                        PartitionSinkSet* sinks, uint32_t num_partitions,
                        const KernelParams& params,
-                       uint32_t hash_divisor = 1) {
+                       uint32_t hash_divisor = 1,
+                       PageRange range = PageRange{}) {
   PartitionContext<MM> ctx(&mm, sinks, num_partitions, input,
-                           hash_divisor);
+                           hash_divisor, range);
   PartitionState st;
   while (PartitionStage0(ctx, st, /*prefetch=*/false,
                          /*prefetch_input_pages=*/false)) {
@@ -275,9 +277,10 @@ void PartitionBaseline(MM& mm, const Relation& input,
 template <typename MM>
 void PartitionSimple(MM& mm, const Relation& input, PartitionSinkSet* sinks,
                      uint32_t num_partitions, const KernelParams& params,
-                     uint32_t hash_divisor = 1) {
+                     uint32_t hash_divisor = 1,
+                     PageRange range = PageRange{}) {
   PartitionContext<MM> ctx(&mm, sinks, num_partitions, input,
-                           hash_divisor);
+                           hash_divisor, range);
   PartitionState st;
   while (PartitionStage0(ctx, st, /*prefetch=*/true,
                          /*prefetch_input_pages=*/true)) {
@@ -292,10 +295,11 @@ void PartitionSimple(MM& mm, const Relation& input, PartitionSinkSet* sinks,
 template <typename MM>
 void PartitionGroup(MM& mm, const Relation& input, PartitionSinkSet* sinks,
                     uint32_t num_partitions, const KernelParams& params,
-                    uint32_t hash_divisor = 1) {
+                    uint32_t hash_divisor = 1,
+                    PageRange range = PageRange{}) {
   const uint32_t group = std::max(1u, params.group_size);
   PartitionContext<MM> ctx(&mm, sinks, num_partitions, input,
-                           hash_divisor);
+                           hash_divisor, range);
   const auto& cfg = mm.config();
   std::vector<PartitionState> states(group);
   std::vector<uint32_t> delayed;
@@ -340,11 +344,12 @@ void PartitionGroup(MM& mm, const Relation& input, PartitionSinkSet* sinks,
 template <typename MM>
 void PartitionSwp(MM& mm, const Relation& input, PartitionSinkSet* sinks,
                   uint32_t num_partitions, const KernelParams& params,
-                  uint32_t hash_divisor = 1) {
+                  uint32_t hash_divisor = 1,
+                  PageRange range = PageRange{}) {
   const uint64_t d = std::max(1u, params.prefetch_distance);
   constexpr uint32_t kStages = 2;  // k = 2 dependent references
   PartitionContext<MM> ctx(&mm, sinks, num_partitions, input,
-                           hash_divisor);
+                           hash_divisor, range);
   const auto& cfg = mm.config();
   const uint64_t ring = NextPowerOfTwo(kStages * d + 1);
   const uint64_t mask = ring - 1;
@@ -363,8 +368,10 @@ void PartitionSwp(MM& mm, const Relation& input, PartitionSinkSet* sinks,
   uint64_t n = UINT64_MAX;
   uint64_t issued = 0;
   for (uint64_t j = 0;; ++j) {
-    mm.Busy(cfg.cost_stage_overhead_spp);
     if (j < n) {
+      // Stage-0 slot overhead: charged only while tuples are still being
+      // issued, so the pipeline drain does not inflate short inputs.
+      mm.Busy(cfg.cost_stage_overhead_spp);
       PartitionState& st = states[j & mask];
       if (PartitionStage0(ctx, st, /*prefetch=*/true,
                           /*prefetch_input_pages=*/true)) {
@@ -396,7 +403,10 @@ void PartitionSwp(MM& mm, const Relation& input, PartitionSinkSet* sinks,
       PartitionStage2(ctx, st);
       if (sink != nullptr) drain_waiters(sink);
     }
-    if (n != UINT64_MAX && j >= 2 * d && j - 2 * d + 1 >= n) break;
+    // Drain window ends at the actual issued count: the last real tuple
+    // (n-1) finishes stage 2 at j = n - 1 + 2D, and an empty input needs
+    // no drain at all.
+    if (n != UINT64_MAX && (n == 0 || j + 1 >= n + 2 * d)) break;
   }
   sinks->FinalFlushAll();
 }
@@ -408,7 +418,8 @@ void PartitionCombined(MM& mm, const Relation& input,
                        PartitionSinkSet* sinks, uint32_t num_partitions,
                        const KernelParams& params, uint32_t l2_bytes,
                        Scheme large_scheme = Scheme::kGroup,
-                       uint32_t hash_divisor = 1) {
+                       uint32_t hash_divisor = 1,
+                       PageRange range = PageRange{}) {
   uint64_t working_set =
       uint64_t(num_partitions) *
       (sinks->page_size() + sizeof(PartitionSink));
@@ -417,11 +428,13 @@ void PartitionCombined(MM& mm, const Relation& input,
   // pollute it (the paper's "other miscellaneous data structures").
   if (working_set <= l2_bytes / 4) {
     PartitionSimple(mm, input, sinks, num_partitions, params,
-                    hash_divisor);
+                    hash_divisor, range);
   } else if (large_scheme == Scheme::kSwp) {
-    PartitionSwp(mm, input, sinks, num_partitions, params, hash_divisor);
+    PartitionSwp(mm, input, sinks, num_partitions, params, hash_divisor,
+                 range);
   } else {
-    PartitionGroup(mm, input, sinks, num_partitions, params, hash_divisor);
+    PartitionGroup(mm, input, sinks, num_partitions, params, hash_divisor,
+                   range);
   }
 }
 
@@ -430,20 +443,21 @@ template <typename MM>
 void PartitionRelation(MM& mm, Scheme scheme, const Relation& input,
                        PartitionSinkSet* sinks, uint32_t num_partitions,
                        const KernelParams& params,
-                       uint32_t hash_divisor = 1) {
+                       uint32_t hash_divisor = 1,
+                       PageRange range = PageRange{}) {
   switch (scheme) {
     case Scheme::kBaseline:
       return PartitionBaseline(mm, input, sinks, num_partitions, params,
-                               hash_divisor);
+                               hash_divisor, range);
     case Scheme::kSimple:
       return PartitionSimple(mm, input, sinks, num_partitions, params,
-                             hash_divisor);
+                             hash_divisor, range);
     case Scheme::kGroup:
       return PartitionGroup(mm, input, sinks, num_partitions, params,
-                            hash_divisor);
+                            hash_divisor, range);
     case Scheme::kSwp:
       return PartitionSwp(mm, input, sinks, num_partitions, params,
-                          hash_divisor);
+                          hash_divisor, range);
   }
 }
 

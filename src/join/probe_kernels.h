@@ -304,6 +304,7 @@ uint64_t ProbeSimple(MM& mm, const Relation& probe, const HashTable& ht,
     st.overflow = false;
     st.inline_cand = nullptr;
     st.ncand = 0;
+    st.projected_out = 0;  // same reset set as ProbeStage0
     // Just-in-time prefetch: issued immediately before the visit, so the
     // latency is barely overlapped.
     mm.Prefetch(st.bucket, sizeof(BucketHeader));
@@ -377,8 +378,10 @@ uint64_t ProbeSwp(MM& mm, const Relation& probe, const HashTable& ht,
   uint64_t n = UINT64_MAX;  // learned when the input runs out
   uint64_t issued = 0;
   for (uint64_t j = 0;; ++j) {
-    mm.Busy(cfg.cost_stage_overhead_spp);
     if (j < n) {
+      // Stage-0 slot overhead: charged only while tuples are still being
+      // issued, so the pipeline drain does not inflate short inputs.
+      mm.Busy(cfg.cost_stage_overhead_spp);
       ProbeState& st = states[j & mask];
       if (ProbeStage0(ctx, st, /*prefetch=*/true)) {
         ++issued;
@@ -398,7 +401,10 @@ uint64_t ProbeSwp(MM& mm, const Relation& probe, const HashTable& ht,
       mm.Busy(cfg.cost_stage_overhead_spp);
       ProbeStage3(ctx, states[(j - 3 * d) & mask]);
     }
-    if (n != UINT64_MAX && j >= 3 * d && j - 3 * d + 1 >= n) break;
+    // Drain window ends at the actual issued count: the last real tuple
+    // (n-1) finishes stage 3 at j = n - 1 + 3D, and an empty input needs
+    // no drain at all.
+    if (n != UINT64_MAX && (n == 0 || j + 1 >= n + 3 * d)) break;
   }
   ctx.sink.Final();
   return ctx.output_count;

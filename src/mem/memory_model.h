@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "mem/prefetch.h"
 #include "simcache/memory_sim.h"
@@ -66,6 +68,59 @@ class SimMemory {
 
  private:
   sim::MemorySim* sim_;
+};
+
+/// Per-worker memory models for the morsel-parallel executor. Kernels
+/// stay single-threaded internally; each worker thread records into its
+/// own model instance, and MergeInto folds the workers' counters into
+/// the main model after the parallel phase so windowed measurements on
+/// the main model stay exact. For RealMemory the instances are free; for
+/// SimMemory each worker gets its own MemorySim (own simulated caches,
+/// TLB, and clock — the model of one core per worker).
+template <typename MM>
+class WorkerMemorySet;
+
+template <>
+class WorkerMemorySet<RealMemory> {
+ public:
+  WorkerMemorySet(RealMemory& /*main*/, uint32_t num_workers)
+      : models_(num_workers) {}
+
+  RealMemory& model(uint32_t worker) { return models_[worker]; }
+  sim::SimStats WorkerStats(uint32_t) const { return sim::SimStats{}; }
+  void MergeInto(RealMemory&) {}
+
+ private:
+  std::vector<RealMemory> models_;
+};
+
+template <>
+class WorkerMemorySet<SimMemory> {
+ public:
+  WorkerMemorySet(SimMemory& main, uint32_t num_workers) {
+    sims_.reserve(num_workers);
+    models_.reserve(num_workers);
+    for (uint32_t i = 0; i < num_workers; ++i) {
+      sims_.push_back(
+          std::make_unique<sim::MemorySim>(main.sim()->config()));
+      models_.emplace_back(sims_.back().get());
+    }
+  }
+
+  SimMemory& model(uint32_t worker) { return models_[worker]; }
+
+  /// Counters a worker accumulated so far (per-thread breakdowns).
+  sim::SimStats WorkerStats(uint32_t worker) const {
+    return sims_[worker]->stats();
+  }
+
+  void MergeInto(SimMemory& main) {
+    for (auto& sim : sims_) main.sim()->AddStats(sim->stats());
+  }
+
+ private:
+  std::vector<std::unique_ptr<sim::MemorySim>> sims_;
+  std::vector<SimMemory> models_;
 };
 
 }  // namespace hashjoin

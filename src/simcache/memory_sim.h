@@ -67,6 +67,13 @@ class MemorySim {
   /// measured warm).
   void ResetStats();
 
+  /// Folds externally accumulated counters into this simulator's totals.
+  /// The parallel executor runs each worker thread against its own
+  /// MemorySim (own caches, own clock) and merges the workers' stats()
+  /// snapshots here, so windowed measurements (stats-after minus
+  /// stats-before) on the main simulator include all worker activity.
+  void AddStats(const SimStats& s) { stats_ += s; }
+
   /// Empties caches and TLB (cold start).
   void FlushAll();
 

@@ -75,6 +75,18 @@ const uint8_t* Relation::PeekAppendAddr() const {
              ->free_offset;
 }
 
+void Relation::Absorb(Relation* other) {
+  HJ_CHECK(other != this);
+  HJ_CHECK(other->page_size_ == page_size_);
+  // Close our open append page: absorbed pages land after it, so it can
+  // no longer be the AllocAppend target.
+  append_page_open_ = false;
+  for (auto& page : other->pages_) pages_.push_back(std::move(page));
+  num_tuples_ += other->num_tuples_;
+  data_bytes_ += other->data_bytes_;
+  other->Clear();
+}
+
 void Relation::Clear() {
   pages_.clear();
   num_tuples_ = 0;

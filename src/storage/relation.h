@@ -71,6 +71,11 @@ class Relation {
     }
   }
 
+  /// Moves every page of `other` to the end of this relation (schemas
+  /// must match), leaving `other` empty. The parallel executor uses this
+  /// to concatenate per-worker output sinks without copying.
+  void Absorb(Relation* other);
+
   /// Drops all pages.
   void Clear();
 

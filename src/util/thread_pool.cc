@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace hashjoin {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  HJ_CHECK(num_threads >= 1);
+  queues_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(Task task) {
+  uint32_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+               queues_.size();
+  {
+    // pending_ goes up before the task becomes visible, so a fast worker
+    // finishing it immediately can never drive the counter below zero.
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::TryGetTask(uint32_t self, Task* out) {
+  // Own queue first (front), then steal from the back of the others'.
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (size_t i = 1; i < queues_.size(); ++i) {
+    WorkerQueue& q = *queues_[(self + i) % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(uint32_t self) {
+  while (true) {
+    Task task;
+    if (TryGetTask(self, &task)) {
+      task(self);
+      std::lock_guard<std::mutex> lk(mu_);
+      --pending_;
+      if (pending_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    work_cv_.wait(lk, [this] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && queued_.load(std::memory_order_acquire) <= 0) return;
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return pending_ == 0; });
+}
+
+}  // namespace hashjoin

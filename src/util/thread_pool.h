@@ -1,0 +1,75 @@
+#ifndef HASHJOIN_UTIL_THREAD_POOL_H_
+#define HASHJOIN_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hashjoin {
+
+/// A small work-stealing thread pool for the morsel-driven executor.
+/// Each worker owns a deque; Submit distributes tasks round-robin, a
+/// worker pops from the front of its own deque and steals from the back
+/// of a victim's when its own runs dry. Tasks receive the worker index
+/// that runs them, so callers can keep per-worker state (memory models,
+/// output sinks) without any locking on the hot path.
+///
+/// The pool is created per executor invocation: spawn cost is a few tens
+/// of microseconds, negligible against a join phase, and keeping the
+/// pool scoped avoids global state.
+class ThreadPool {
+ public:
+  using Task = std::function<void(uint32_t worker_id)>;
+
+  explicit ThreadPool(uint32_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  uint32_t num_workers() const { return uint32_t(workers_.size()); }
+
+  /// Enqueues a task. Safe to call from any thread (including from
+  /// inside a task); tasks submitted before Wait() returns are covered
+  /// by it.
+  void Submit(Task task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+ private:
+  /// One worker's deque. Owner pops the front (LIFO-ish locality does
+  /// not matter here: morsels are independent); thieves take the back,
+  /// which holds the largest still-queued morsels under the
+  /// largest-first submission order.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  bool TryGetTask(uint32_t self, Task* out);
+  void WorkerLoop(uint32_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                  // guards pending_ and the condvars
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t pending_ = 0;           // submitted but not yet finished
+  std::atomic<int64_t> queued_{0};  // submitted but not yet dequeued
+  std::atomic<uint32_t> next_queue_{0};
+  bool stop_ = false;
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_UTIL_THREAD_POOL_H_

@@ -265,6 +265,36 @@ TEST(PipelineTest, ScanFilterJoinAggregate) {
   EXPECT_EQ(total_count, 3000u);
 }
 
+TEST(GraceJoinOperatorTest, JoinsWithConfiguredThreads) {
+  WorkloadSpec spec;
+  spec.num_build_tuples = 5000;
+  spec.tuple_size = 20;
+  spec.matches_per_build = 2.0;
+  JoinWorkload w = GenerateJoinWorkload(spec);
+
+  for (uint32_t threads : {1u, 4u}) {
+    GraceConfig config;
+    config.forced_num_partitions = 4;
+    config.num_threads = threads;
+    GraceJoinOperator join(std::make_unique<ScanOperator>(&w.build, 32),
+                           std::make_unique<ScanOperator>(&w.probe, 32),
+                           config);
+    ASSERT_TRUE(join.Open().ok());
+    uint64_t rows = 0;
+    RowBatch batch;
+    while (join.Next(&batch)) {
+      for (const auto& row : batch.rows) {
+        ASSERT_EQ(row.length, 40u);  // build columns then probe columns
+        EXPECT_EQ(KeyOf(row.data), KeyOf(row.data + 20));
+        ++rows;
+      }
+    }
+    EXPECT_EQ(rows, w.expected_matches) << "threads=" << threads;
+    EXPECT_EQ(join.rows_joined(), w.expected_matches);
+    EXPECT_EQ(join.join_result().num_partitions, 4u);
+  }
+}
+
 }  // namespace
 }  // namespace exec
 }  // namespace hashjoin
