@@ -54,7 +54,21 @@ int main(int argc, char** argv) {
 
     auto build_file = join.StoreRelation(w.build);
     auto probe_file = join.StoreRelation(w.probe);
-    DiskJoinResult r = join.Join(build_file, probe_file);
+    if (!build_file.ok() || !probe_file.ok()) {
+      std::fprintf(stderr, "store failed: %s\n",
+                   (build_file.ok() ? probe_file : build_file)
+                       .status()
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    auto res = join.Join(build_file.value(), probe_file.value());
+    if (!res.ok()) {
+      std::fprintf(stderr, "join failed: %s\n",
+                   res.status().ToString().c_str());
+      return 1;
+    }
+    const DiskJoinResult& r = res.value();
     if (r.output_tuples != w.expected_matches) {
       std::fprintf(stderr, "match count wrong: %llu vs %llu\n",
                    (unsigned long long)r.output_tuples,

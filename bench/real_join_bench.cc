@@ -7,12 +7,18 @@
 // beat the baseline by a clear margin whenever the hash table exceeds
 // the last-level cache.
 //
-// The full-join benchmarks take a repo flag on top of the
+// The full-join benchmarks take repo flags on top of the
 // google-benchmark ones: --threads=N runs BM_GraceJoin on the
 // morsel-parallel executor with N workers (always alongside the
 // 1-thread reference, so one invocation shows the speedup). Wall-clock
 // scaling needs as many online cores, but output counts are verified
 // at every thread count either way.
+//
+// --fault-rate=R / --fault-seed=S drive the disk-backed join benchmarks:
+// BM_DiskGraceJoin/raw (no checksums), /clean (checksums, no faults) and
+// — when R > 0 — /faults (seeded transient errors + torn pages, with
+// write verification). raw vs clean is the checksum overhead; clean vs
+// faults is the retry/recovery overhead at that fault rate.
 
 #include <benchmark/benchmark.h>
 
@@ -21,7 +27,9 @@
 #include <vector>
 
 #include "join/grace.h"
+#include "join/grace_disk.h"
 #include "mem/memory_model.h"
+#include "storage/buffer_manager.h"
 #include "util/flags.h"
 #include "workload/generator.h"
 
@@ -141,24 +149,85 @@ void GraceJoinBench(benchmark::State& state, uint32_t threads) {
                           int64_t(w.probe.num_tuples()));
 }
 
+// Disk-backed GRACE join through the fault-tolerant I/O path. A modest
+// workload (~4MB build) keeps each iteration short; the interesting
+// quantity is the *relative* cost of checksums and fault recovery, not
+// the absolute time.
+void DiskGraceJoinBench(benchmark::State& state, bool checksums,
+                        double fault_rate, uint64_t fault_seed) {
+  static const JoinWorkload& w = *new JoinWorkload([] {
+    WorkloadSpec spec;
+    spec.tuple_size = 100;
+    spec.num_build_tuples = 40000;
+    spec.matches_per_build = 2.0;
+    return GenerateJoinWorkload(spec);
+  }());
+  uint64_t injected = 0, retries = 0, verify_fixes = 0;
+  for (auto _ : state) {
+    BufferManagerConfig cfg;
+    cfg.num_disks = 4;
+    cfg.disk.bandwidth_mb_per_s = 20000;
+    cfg.disk.request_latency_us = 0;
+    cfg.checksum_pages = checksums;
+    cfg.disk.fault.read_error_rate = fault_rate;
+    cfg.disk.fault.write_error_rate = fault_rate;
+    cfg.disk.fault.torn_page_rate = fault_rate;
+    cfg.disk.fault.seed = fault_seed;
+    cfg.verify_writes = fault_rate > 0;  // torn pages need the read-back
+    BufferManager bm(cfg);
+    DiskJoinConfig jc;
+    jc.num_partitions = 8;
+    jc.page_checksums = checksums;
+    DiskGraceJoin join(&bm, jc);
+    auto b = join.StoreRelation(w.build);
+    auto p = join.StoreRelation(w.probe);
+    if (!b.ok() || !p.ok()) {
+      state.SkipWithError("store failed");
+      break;
+    }
+    auto r = join.Join(b.value(), p.value());
+    if (!r.ok() || r.value().output_tuples != w.expected_matches) {
+      state.SkipWithError("bad disk join result");
+      break;
+    }
+    injected += r.value().recovery.injected_faults;
+    retries +=
+        r.value().recovery.read_retries + r.value().recovery.write_retries;
+    verify_fixes += r.value().recovery.write_verify_failures;
+    benchmark::DoNotOptimize(r.value().output_tuples);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(w.probe.num_tuples()));
+  state.counters["injected_faults"] = double(injected);
+  state.counters["retries"] = double(retries);
+  state.counters["verify_fixes"] = double(verify_fixes);
+}
+
 }  // namespace hashjoin
 
-// Custom main: the repo's --threads flag must come out of argv before
-// google-benchmark sees it (ReportUnrecognizedArguments rejects foreign
-// flags).
+// Custom main: the repo's flags (--threads, --fault-rate, --fault-seed)
+// must come out of argv before google-benchmark sees them
+// (ReportUnrecognizedArguments rejects foreign flags).
 int main(int argc, char** argv) {
   hashjoin::FlagParser flags;
   flags.Parse(argc, argv);
   uint32_t threads = uint32_t(flags.GetInt("threads", 1));
+  double fault_rate = flags.GetDouble("fault-rate", 0.0);
+  uint64_t fault_seed = uint64_t(flags.GetInt("fault-seed", 0x5EED));
 
+  const char* repo_flags[] = {"--threads", "--fault-rate", "--fault-seed"};
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];
-    if (a.rfind("--threads", 0) == 0) {
-      if (a == "--threads" && i + 1 < argc && argv[i + 1][0] != '-') ++i;
-      continue;
+    bool ours = false;
+    for (const char* f : repo_flags) {
+      if (a.rfind(f, 0) == 0) {
+        if (a == f && i + 1 < argc && argv[i + 1][0] != '-') ++i;
+        ours = true;
+        break;
+      }
     }
-    args.push_back(argv[i]);
+    if (!ours) args.push_back(argv[i]);
   }
   int filtered_argc = int(args.size());
 
@@ -168,6 +237,24 @@ int main(int argc, char** argv) {
     names.push_back("BM_GraceJoin/threads:" + std::to_string(t));
     benchmark::RegisterBenchmark(names.back().c_str(),
                                  hashjoin::GraceJoinBench, t)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
+
+  benchmark::RegisterBenchmark("BM_DiskGraceJoin/raw",
+                               hashjoin::DiskGraceJoinBench,
+                               /*checksums=*/false, 0.0, fault_seed)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("BM_DiskGraceJoin/clean",
+                               hashjoin::DiskGraceJoinBench,
+                               /*checksums=*/true, 0.0, fault_seed)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+  if (fault_rate > 0) {
+    benchmark::RegisterBenchmark("BM_DiskGraceJoin/faults",
+                                 hashjoin::DiskGraceJoinBench,
+                                 /*checksums=*/true, fault_rate, fault_seed)
         ->Unit(benchmark::kMillisecond)
         ->UseRealTime();
   }

@@ -3,11 +3,24 @@
 // small and large partition counts. The crossover mirrors Figure 14:
 // with few partitions the output buffers stay cache-resident and simple
 // prefetching suffices; with many, inter-tuple prefetching wins.
+//
+// Repo flags (parsed before google-benchmark sees argv):
+// --fault-rate=R / --fault-seed=S drive the disk-backed partition-pass
+// benchmarks — BM_DiskPartition/raw (no checksums), /clean (checksums,
+// no faults) and, when R > 0, /faults (seeded transient errors + torn
+// pages with write verification). raw vs clean isolates the checksum
+// cost of the I/O partition pass; clean vs faults the recovery cost.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "join/grace_disk.h"
 #include "join/partition_kernels.h"
 #include "mem/memory_model.h"
+#include "storage/buffer_manager.h"
+#include "util/flags.h"
 #include "workload/generator.h"
 
 namespace hashjoin {
@@ -83,6 +96,107 @@ BENCHMARK(BM_Partition_Swp)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Disk-backed I/O partition pass (StoreRelation + Partition) through the
+// fault-tolerant buffer manager. Uses a smaller input than the in-memory
+// kernels above — the point is the relative checksum/recovery cost.
+void DiskPartitionBench(benchmark::State& state, bool checksums,
+                        double fault_rate, uint64_t fault_seed) {
+  static const Relation& input =
+      *new Relation(GenerateSourceRelation(100'000, 100, 42));
+  uint64_t injected = 0, retries = 0;
+  for (auto _ : state) {
+    BufferManagerConfig cfg;
+    cfg.num_disks = 4;
+    cfg.disk.bandwidth_mb_per_s = 20000;
+    cfg.disk.request_latency_us = 0;
+    cfg.checksum_pages = checksums;
+    cfg.disk.fault.read_error_rate = fault_rate;
+    cfg.disk.fault.write_error_rate = fault_rate;
+    cfg.disk.fault.torn_page_rate = fault_rate;
+    cfg.disk.fault.seed = fault_seed;
+    cfg.verify_writes = fault_rate > 0;  // torn pages need the read-back
+    BufferManager bm(cfg);
+    DiskJoinConfig jc;
+    jc.num_partitions = 64;
+    jc.page_checksums = checksums;
+    DiskGraceJoin join(&bm, jc);
+    auto file = join.StoreRelation(input);
+    if (!file.ok()) {
+      state.SkipWithError("store failed");
+      break;
+    }
+    auto parts = join.Partition(file.value(), nullptr);
+    if (!parts.ok()) {
+      state.SkipWithError("partition failed");
+      break;
+    }
+    uint64_t pages = 0;
+    for (auto f : parts.value()) pages += bm.FileNumPages(f);
+    if (pages == 0) {
+      state.SkipWithError("partition produced nothing");
+      break;
+    }
+    IoRecoveryStats stats = bm.recovery_stats();
+    injected += stats.injected_faults;
+    retries += stats.read_retries + stats.write_retries;
+    benchmark::DoNotOptimize(pages);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(input.num_tuples()));
+  state.counters["injected_faults"] = double(injected);
+  state.counters["retries"] = double(retries);
+}
+
 }  // namespace hashjoin
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the repo's fault flags can
+// be stripped from argv before google-benchmark rejects them.
+int main(int argc, char** argv) {
+  hashjoin::FlagParser flags;
+  flags.Parse(argc, argv);
+  double fault_rate = flags.GetDouble("fault-rate", 0.0);
+  uint64_t fault_seed = uint64_t(flags.GetInt("fault-seed", 0x5EED));
+
+  const char* repo_flags[] = {"--fault-rate", "--fault-seed"};
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    bool ours = false;
+    for (const char* f : repo_flags) {
+      if (a.rfind(f, 0) == 0) {
+        if (a == f && i + 1 < argc && argv[i + 1][0] != '-') ++i;
+        ours = true;
+        break;
+      }
+    }
+    if (!ours) args.push_back(argv[i]);
+  }
+  int filtered_argc = int(args.size());
+
+  benchmark::RegisterBenchmark("BM_DiskPartition/raw",
+                               hashjoin::DiskPartitionBench,
+                               /*checksums=*/false, 0.0, fault_seed)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("BM_DiskPartition/clean",
+                               hashjoin::DiskPartitionBench,
+                               /*checksums=*/true, 0.0, fault_seed)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+  if (fault_rate > 0) {
+    benchmark::RegisterBenchmark("BM_DiskPartition/faults",
+                                 hashjoin::DiskPartitionBench,
+                                 /*checksums=*/true, fault_rate, fault_seed)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

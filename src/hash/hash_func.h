@@ -24,6 +24,17 @@ inline uint32_t HashKey32(uint32_t key) {
   return h;
 }
 
+/// Seed-salted rehash for recursive repartitioning of skewed partitions.
+/// Level L's partition function must be independent of levels 0..L-1:
+/// every tuple of an overflowing partition already agrees on
+/// hash % fan_out, so re-splitting with the same function would put the
+/// whole partition into one sub-partition again. Mixing a per-level salt
+/// through the finalizer decorrelates the levels while staying a pure
+/// function of the memoized hash code (no key re-read needed).
+inline uint32_t SaltedRehash(uint32_t hash, uint32_t level) {
+  return HashKey32(hash ^ (0x9E3779B9u * (level + 1)));
+}
+
 }  // namespace hashjoin
 
 #endif  // HASHJOIN_HASH_HASH_FUNC_H_

@@ -1,21 +1,29 @@
 #include "join/grace_disk.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "hash/hash_func.h"
 #include "hash/hash_table.h"
 #include "join/grace.h"
+#include "storage/slotted_page.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace hashjoin {
 
-DiskGraceJoin::DiskGraceJoin(BufferManager* bm, uint32_t num_partitions)
-    : bm_(bm),
-      num_partitions_(num_partitions),
-      page_size_(bm->config().disk.page_size) {
-  HJ_CHECK(num_partitions_ >= 1);
+DiskGraceJoin::DiskGraceJoin(BufferManager* bm, const DiskJoinConfig& config)
+    : bm_(bm), config_(config), page_size_(bm->config().disk.page_size) {
+  HJ_CHECK(config_.num_partitions >= 1);
+  HJ_CHECK(config_.overflow_fanout >= 2);
 }
+
+DiskGraceJoin::DiskGraceJoin(BufferManager* bm, uint32_t num_partitions)
+    : DiskGraceJoin(bm, [&] {
+        DiskJoinConfig c;
+        c.num_partitions = num_partitions;
+        return c;
+      }()) {}
 
 template <typename Fn>
 DiskPhaseStats DiskGraceJoin::Measure(Fn&& fn) {
@@ -34,121 +42,318 @@ DiskPhaseStats DiskGraceJoin::Measure(Fn&& fn) {
   return stats;
 }
 
-BufferManager::FileId DiskGraceJoin::StoreRelation(const Relation& rel) {
-  HJ_CHECK(rel.page_size() == page_size_)
-      << "relation pages must match the disk page size";
-  auto file = bm_->CreateFile();
-  for (size_t p = 0; p < rel.num_pages(); ++p) {
-    bm_->WritePageAsync(file, p, rel.page(p).data());
+void DiskGraceJoin::WritePage(BufferManager::FileId file, uint64_t page_index,
+                              uint8_t* page_bytes) {
+  SlottedPage pg = SlottedPage::Attach(page_bytes);
+  FileStats& fs = file_stats_[file];
+  for (int s = 0; s < pg.slot_count(); ++s) {
+    fs.data_bytes += pg.GetSlot(s)->length;
   }
-  bm_->FlushWrites();
+  fs.tuples += pg.slot_count();
+  if (config_.page_checksums) pg.StampChecksum();
+  bm_->WritePageAsync(file, page_index, page_bytes);
+}
+
+Status DiskGraceJoin::VerifyPage(const uint8_t* page_bytes) const {
+  if (!config_.page_checksums) return Status::OK();
+  SlottedPage pg = SlottedPage::Attach(const_cast<uint8_t*>(page_bytes));
+  if (!pg.VerifyChecksum()) {
+    return Status::DataLoss(
+        "slotted page failed end-to-end checksum verification");
+  }
+  return Status::OK();
+}
+
+StatusOr<BufferManager::FileId> DiskGraceJoin::StoreRelation(
+    const Relation& rel) {
+  if (rel.page_size() != page_size_) {
+    return Status::InvalidArgument(
+        "relation pages must match the disk page size");
+  }
+  auto file = bm_->CreateFile();
+  // The relation is const, so checksums are stamped on a scratch copy of
+  // each page (WritePageAsync copies again into its own queue entry; the
+  // extra copy only affects this load utility, not the join phases).
+  std::vector<uint8_t> scratch(page_size_);
+  for (size_t p = 0; p < rel.num_pages(); ++p) {
+    std::memcpy(scratch.data(), rel.page(p).data(), page_size_);
+    WritePage(file, p, scratch.data());
+  }
+  HJ_RETURN_IF_ERROR(bm_->FlushWrites());
   return file;
 }
 
-std::vector<BufferManager::FileId> DiskGraceJoin::Partition(
-    BufferManager::FileId input, DiskPhaseStats* stats) {
-  std::vector<BufferManager::FileId> part_files(num_partitions_);
-  auto run = [&] {
-    std::vector<std::vector<uint8_t>> bufs(num_partitions_);
-    std::vector<SlottedPage> views(num_partitions_);
-    std::vector<uint64_t> next_page(num_partitions_, 0);
-    for (uint32_t p = 0; p < num_partitions_; ++p) {
-      part_files[p] = bm_->CreateFile();
-      bufs[p].resize(page_size_);
-      views[p] = SlottedPage::Format(bufs[p].data(), page_size_);
-    }
-    auto flush = [&](uint32_t p) {
-      bm_->WritePageAsync(part_files[p], next_page[p]++, bufs[p].data());
-      views[p] = SlottedPage::Format(bufs[p].data(), page_size_);
-    };
-    auto scan = bm_->OpenScan(input);
-    while (const uint8_t* page = scan.NextPage()) {
-      // The scan buffer is recycled on the next NextPage(), but tuples
-      // are fully copied into output buffers within this iteration.
-      SlottedPage in = SlottedPage::Attach(const_cast<uint8_t*>(page));
-      for (int s = 0; s < in.slot_count(); ++s) {
-        uint16_t len = 0;
-        const uint8_t* tuple = in.GetTuple(s, &len);
+Status DiskGraceJoin::PartitionInto(
+    BufferManager::FileId input,
+    const std::vector<BufferManager::FileId>& outs, uint32_t fanout,
+    uint32_t level) {
+  std::vector<std::vector<uint8_t>> bufs(fanout);
+  std::vector<SlottedPage> views(fanout);
+  std::vector<uint64_t> next_page(fanout, 0);
+  for (uint32_t p = 0; p < fanout; ++p) {
+    bufs[p].resize(page_size_);
+    views[p] = SlottedPage::Format(bufs[p].data(), page_size_);
+  }
+  auto flush = [&](uint32_t p) {
+    WritePage(outs[p], next_page[p]++, bufs[p].data());
+    views[p] = SlottedPage::Format(bufs[p].data(), page_size_);
+  };
+  auto scan = bm_->OpenScan(input);
+  const uint8_t* page = nullptr;
+  while (true) {
+    HJ_RETURN_IF_ERROR(scan.NextPage(&page));
+    if (page == nullptr) break;
+    HJ_RETURN_IF_ERROR(VerifyPage(page));
+    // The scan buffer is recycled on the next NextPage(), but tuples are
+    // fully copied into output buffers within this iteration.
+    SlottedPage in = SlottedPage::Attach(const_cast<uint8_t*>(page));
+    for (int s = 0; s < in.slot_count(); ++s) {
+      uint16_t len = 0;
+      const uint8_t* tuple = in.GetTuple(s, &len);
+      // Level 0 hashes the key; deeper levels reroute the memoized hash
+      // code through the level-salted rehash (every tuple here already
+      // agrees on hash % parent_fanout, so reusing the plain hash would
+      // put the whole partition into one sub-partition again). The
+      // *original* hash code is memoized either way — the join phase and
+      // further recursion levels both derive from it.
+      uint32_t hash;
+      if (level == 0) {
         uint32_t key;
         std::memcpy(&key, tuple, 4);
-        uint32_t hash = HashKey32(key);
-        uint32_t p = hash % num_partitions_;
-        if (views[p].AddTuple(tuple, len, hash) < 0) {
-          flush(p);
-          int idx = views[p].AddTuple(tuple, len, hash);
-          HJ_CHECK(idx >= 0);
-        }
+        hash = HashKey32(key);
+      } else {
+        hash = in.GetHashCode(s);
+      }
+      uint32_t p = (level == 0 ? hash : SaltedRehash(hash, level)) % fanout;
+      if (views[p].AddTuple(tuple, len, hash) < 0) {
+        flush(p);
+        int idx = views[p].AddTuple(tuple, len, hash);
+        HJ_CHECK(idx >= 0);
       }
     }
-    for (uint32_t p = 0; p < num_partitions_; ++p) {
-      if (views[p].slot_count() > 0) flush(p);
-    }
-    bm_->FlushWrites();
-  };
-  DiskPhaseStats measured = Measure(run);
+  }
+  for (uint32_t p = 0; p < fanout; ++p) {
+    if (views[p].slot_count() > 0) flush(p);
+  }
+  return bm_->FlushWrites();
+}
+
+StatusOr<std::vector<BufferManager::FileId>> DiskGraceJoin::Partition(
+    BufferManager::FileId input, DiskPhaseStats* stats) {
+  std::vector<BufferManager::FileId> part_files(config_.num_partitions);
+  for (uint32_t p = 0; p < config_.num_partitions; ++p) {
+    part_files[p] = bm_->CreateFile();
+  }
+  Status st;
+  DiskPhaseStats measured = Measure([&] {
+    st = PartitionInto(input, part_files, config_.num_partitions,
+                       /*level=*/0);
+  });
   if (stats != nullptr) *stats = measured;
+  if (!st.ok()) return st;
   return part_files;
 }
 
-uint64_t DiskGraceJoin::JoinPartitions(
+uint64_t DiskGraceJoin::EstimateBuildBytes(BufferManager::FileId file) const {
+  uint64_t tuples = 0;
+  auto it = file_stats_.find(file);
+  if (it != file_stats_.end()) tuples = it->second.tuples;
+  return bm_->FileNumPages(file) * uint64_t(page_size_) +
+         HashTable::EstimateBytes(tuples);
+}
+
+void DiskGraceJoin::NoteBuildBytes(uint64_t pages, uint64_t tuples) {
+  uint64_t bytes =
+      pages * uint64_t(page_size_) + HashTable::EstimateBytes(tuples);
+  tally_.max_build_bytes = std::max(tally_.max_build_bytes, bytes);
+}
+
+Status DiskGraceJoin::BuildAndProbe(
+    const std::vector<std::vector<uint8_t>>& build_pages,
+    uint64_t build_tuples, BufferManager::FileId probe, uint64_t* matches) {
+  if (build_tuples == 0) return Status::OK();
+  NoteBuildBytes(build_pages.size(), build_tuples);
+  // The bucket count only needs to be relatively prime to the moduli the
+  // hash codes are constrained by; the initial partition count covers the
+  // common case, and recursion levels use an independent (salted) hash.
+  HashTable ht(ChooseBucketCount(build_tuples, config_.num_partitions));
+  for (const auto& bytes : build_pages) {
+    SlottedPage pg =
+        SlottedPage::Attach(const_cast<uint8_t*>(bytes.data()));
+    for (int s = 0; s < pg.slot_count(); ++s) {
+      uint16_t len;
+      const uint8_t* t = pg.GetTuple(s, &len);
+      ht.Insert(pg.GetHashCode(s), t);
+    }
+  }
+  auto scan = bm_->OpenScan(probe);
+  const uint8_t* page = nullptr;
+  while (true) {
+    HJ_RETURN_IF_ERROR(scan.NextPage(&page));
+    if (page == nullptr) break;
+    HJ_RETURN_IF_ERROR(VerifyPage(page));
+    SlottedPage pg = SlottedPage::Attach(const_cast<uint8_t*>(page));
+    for (int s = 0; s < pg.slot_count(); ++s) {
+      uint16_t len;
+      const uint8_t* t = pg.GetTuple(s, &len);
+      uint32_t key;
+      std::memcpy(&key, t, 4);
+      ht.Probe(pg.GetHashCode(s), [&](const uint8_t* bt) {
+        uint32_t bkey;
+        std::memcpy(&bkey, bt, 4);
+        if (bkey == key) ++*matches;
+      });
+    }
+  }
+  return Status::OK();
+}
+
+Status DiskGraceJoin::JoinChunked(BufferManager::FileId build,
+                                  BufferManager::FileId probe,
+                                  uint64_t* matches) {
+  ++tally_.chunked_fallbacks;
+  const uint64_t budget = config_.memory_budget;
+  std::vector<std::vector<uint8_t>> chunk;
+  uint64_t chunk_tuples = 0;
+  auto scan = bm_->OpenScan(build);
+  const uint8_t* page = nullptr;
+  while (true) {
+    HJ_RETURN_IF_ERROR(scan.NextPage(&page));
+    if (page == nullptr) break;
+    HJ_RETURN_IF_ERROR(VerifyPage(page));
+    uint64_t page_tuples =
+        SlottedPage::Attach(const_cast<uint8_t*>(page)).slot_count();
+    // Join the accumulated chunk before this page would push it over the
+    // budget. A chunk always holds at least one page, so even a budget
+    // smaller than one page's build cost makes progress (that single
+    // chunk is the unavoidable minimum working set).
+    uint64_t prospective = (chunk.size() + 1) * uint64_t(page_size_) +
+                           HashTable::EstimateBytes(chunk_tuples +
+                                                    page_tuples);
+    if (budget != 0 && prospective > budget && !chunk.empty()) {
+      HJ_RETURN_IF_ERROR(BuildAndProbe(chunk, chunk_tuples, probe, matches));
+      chunk.clear();
+      chunk_tuples = 0;
+    }
+    chunk.emplace_back(page, page + page_size_);
+    chunk_tuples += page_tuples;
+  }
+  if (!chunk.empty()) {
+    HJ_RETURN_IF_ERROR(BuildAndProbe(chunk, chunk_tuples, probe, matches));
+  }
+  return Status::OK();
+}
+
+Status DiskGraceJoin::JoinPartitionPair(BufferManager::FileId build,
+                                        BufferManager::FileId probe,
+                                        uint32_t depth, uint64_t* matches) {
+  const uint64_t budget = config_.memory_budget;
+  const uint64_t build_pages = bm_->FileNumPages(build);
+  if (budget == 0 || EstimateBuildBytes(build) <= budget) {
+    // Fits: load the build partition (pages must outlive the hash table)
+    // and stream the probe partition against it.
+    std::vector<std::vector<uint8_t>> pages;
+    pages.reserve(build_pages);
+    uint64_t tuples = 0;
+    {
+      auto scan = bm_->OpenScan(build);
+      const uint8_t* page = nullptr;
+      while (true) {
+        HJ_RETURN_IF_ERROR(scan.NextPage(&page));
+        if (page == nullptr) break;
+        HJ_RETURN_IF_ERROR(VerifyPage(page));
+        pages.emplace_back(page, page + page_size_);
+        tuples += SlottedPage::Attach(pages.back().data()).slot_count();
+      }
+    }
+    return BuildAndProbe(pages, tuples, probe, matches);
+  }
+
+  if (depth < config_.max_recursion_depth) {
+    // Over budget: re-split the build side with the next level's salted
+    // hash and check that the split actually helped. A partition of one
+    // giant key re-hashes into a single sub-partition no matter the
+    // salt — recursing on it would burn all remaining levels for
+    // nothing, so no-progress splits go straight to the chunked build.
+    const uint32_t fanout = config_.overflow_fanout;
+    std::vector<BufferManager::FileId> sub_build(fanout);
+    for (uint32_t p = 0; p < fanout; ++p) sub_build[p] = bm_->CreateFile();
+    HJ_RETURN_IF_ERROR(PartitionInto(build, sub_build, fanout, depth + 1));
+    uint64_t largest = 0;
+    for (uint32_t p = 0; p < fanout; ++p) {
+      largest = std::max(largest, bm_->FileNumPages(sub_build[p]));
+    }
+    if (largest < build_pages) {
+      ++tally_.recursive_splits;
+      tally_.deepest_recursion =
+          std::max(tally_.deepest_recursion, depth + 1);
+      std::vector<BufferManager::FileId> sub_probe(fanout);
+      for (uint32_t p = 0; p < fanout; ++p) {
+        sub_probe[p] = bm_->CreateFile();
+      }
+      HJ_RETURN_IF_ERROR(
+          PartitionInto(probe, sub_probe, fanout, depth + 1));
+      for (uint32_t p = 0; p < fanout; ++p) {
+        HJ_RETURN_IF_ERROR(JoinPartitionPair(sub_build[p], sub_probe[p],
+                                             depth + 1, matches));
+      }
+      return Status::OK();
+    }
+  }
+  return JoinChunked(build, probe, matches);
+}
+
+StatusOr<uint64_t> DiskGraceJoin::JoinPartitions(
     const std::vector<BufferManager::FileId>& build_parts,
     const std::vector<BufferManager::FileId>& probe_parts,
     DiskPhaseStats* stats) {
-  HJ_CHECK(build_parts.size() == probe_parts.size());
+  if (build_parts.size() != probe_parts.size()) {
+    return Status::InvalidArgument(
+        "build/probe partition counts must match");
+  }
   uint64_t matches = 0;
-  auto run = [&] {
+  Status st;
+  DiskPhaseStats measured = Measure([&] {
     for (size_t p = 0; p < build_parts.size(); ++p) {
-      // Load the build partition; its pages must outlive the hash table.
-      std::vector<std::vector<uint8_t>> pages;
-      uint64_t tuples = 0;
-      {
-        auto scan = bm_->OpenScan(build_parts[p]);
-        while (const uint8_t* page = scan.NextPage()) {
-          pages.emplace_back(page, page + page_size_);
-          tuples += SlottedPage::Attach(pages.back().data()).slot_count();
-        }
-      }
-      if (tuples == 0) continue;
-      HashTable ht(
-          ChooseBucketCount(tuples, uint32_t(build_parts.size())));
-      for (auto& bytes : pages) {
-        SlottedPage pg = SlottedPage::Attach(bytes.data());
-        for (int s = 0; s < pg.slot_count(); ++s) {
-          uint16_t len;
-          const uint8_t* t = pg.GetTuple(s, &len);
-          ht.Insert(pg.GetHashCode(s), t);
-        }
-      }
-      auto scan = bm_->OpenScan(probe_parts[p]);
-      while (const uint8_t* page = scan.NextPage()) {
-        SlottedPage pg = SlottedPage::Attach(const_cast<uint8_t*>(page));
-        for (int s = 0; s < pg.slot_count(); ++s) {
-          uint16_t len;
-          const uint8_t* t = pg.GetTuple(s, &len);
-          uint32_t key;
-          std::memcpy(&key, t, 4);
-          ht.Probe(pg.GetHashCode(s), [&](const uint8_t* bt) {
-            uint32_t bkey;
-            std::memcpy(&bkey, bt, 4);
-            if (bkey == key) ++matches;
-          });
-        }
-      }
+      st = JoinPartitionPair(build_parts[p], probe_parts[p], /*depth=*/0,
+                             &matches);
+      if (!st.ok()) return;
     }
-  };
-  DiskPhaseStats measured = Measure(run);
+  });
   if (stats != nullptr) *stats = measured;
+  if (!st.ok()) return st;
   return matches;
 }
 
-DiskJoinResult DiskGraceJoin::Join(BufferManager::FileId build,
-                                   BufferManager::FileId probe) {
+StatusOr<DiskJoinResult> DiskGraceJoin::Join(BufferManager::FileId build,
+                                             BufferManager::FileId probe) {
   DiskJoinResult result;
-  result.num_partitions = num_partitions_;
-  auto build_parts = Partition(build, &result.partition_phase);
-  auto probe_parts = Partition(probe, &result.probe_partition_phase);
-  result.output_tuples =
-      JoinPartitions(build_parts, probe_parts, &result.join_phase);
+  result.num_partitions = config_.num_partitions;
+  const IoRecoveryStats io_before = bm_->recovery_stats();
+  const DiskJoinRecovery tally_before = tally_;
+  HJ_ASSIGN_OR_RETURN(auto build_parts,
+                      Partition(build, &result.partition_phase));
+  HJ_ASSIGN_OR_RETURN(auto probe_parts,
+                      Partition(probe, &result.probe_partition_phase));
+  HJ_ASSIGN_OR_RETURN(
+      result.output_tuples,
+      JoinPartitions(build_parts, probe_parts, &result.join_phase));
+  const IoRecoveryStats io_after = bm_->recovery_stats();
+  result.recovery.read_retries = io_after.read_retries - io_before.read_retries;
+  result.recovery.write_retries =
+      io_after.write_retries - io_before.write_retries;
+  result.recovery.checksum_failures =
+      io_after.checksum_failures - io_before.checksum_failures;
+  result.recovery.write_verify_failures =
+      io_after.write_verify_failures - io_before.write_verify_failures;
+  result.recovery.injected_faults =
+      io_after.injected_faults - io_before.injected_faults;
+  result.recovery.recursive_splits =
+      tally_.recursive_splits - tally_before.recursive_splits;
+  result.recovery.chunked_fallbacks =
+      tally_.chunked_fallbacks - tally_before.chunked_fallbacks;
+  result.recovery.deepest_recursion = tally_.deepest_recursion;
+  result.recovery.max_build_bytes = tally_.max_build_bytes;
   return result;
 }
 

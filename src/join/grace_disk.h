@@ -2,10 +2,12 @@
 #define HASHJOIN_JOIN_GRACE_DISK_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "storage/buffer_manager.h"
 #include "storage/relation.h"
+#include "util/status.h"
 
 namespace hashjoin {
 
@@ -18,6 +20,55 @@ struct DiskPhaseStats {
   double main_wait_seconds = 0;
 };
 
+/// Configuration of the disk-backed GRACE join's resilience layer.
+struct DiskJoinConfig {
+  /// Initial partition fan-out of the I/O partition phase.
+  uint32_t num_partitions = 8;
+
+  /// Memory available to one in-memory build (partition pages + hash
+  /// table), in bytes. 0 = unlimited (the paper's perfect-balance
+  /// assumption). With a budget, a build partition that does not fit is
+  /// recursively repartitioned and, past the depth cap, joined with the
+  /// chunked multipass build — so skew degrades gracefully instead of
+  /// overrunning memory.
+  uint64_t memory_budget = 0;
+
+  /// Sub-partition fan-out of each recursive repartition level.
+  uint32_t overflow_fanout = 8;
+
+  /// Levels of recursive repartitioning allowed before falling back to
+  /// the chunked build. 0 disables recursion entirely.
+  uint32_t max_recursion_depth = 4;
+
+  /// Stamp a SlottedPage checksum into every page this join writes and
+  /// verify it on every page it reads back — an end-to-end integrity
+  /// check across the full I/O path, on top of the buffer manager's
+  /// per-page CRC.
+  bool page_checksums = true;
+};
+
+/// Recovery actions taken during one Join() call; all zero on a clean,
+/// well-balanced run. The I/O counters are diffs of the buffer manager's
+/// cumulative stats; the skew counters are tallied by the join itself.
+struct DiskJoinRecovery {
+  uint64_t read_retries = 0;
+  uint64_t write_retries = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t write_verify_failures = 0;
+  uint64_t injected_faults = 0;
+  /// Build partitions that exceeded the budget and were split again.
+  uint64_t recursive_splits = 0;
+  /// Oversized partitions joined with the chunked multipass build after
+  /// the depth cap (or a no-progress split, e.g. one giant key).
+  uint64_t chunked_fallbacks = 0;
+  /// Deepest recursive repartition level reached (0 = none needed).
+  uint32_t deepest_recursion = 0;
+  /// Largest memory actually committed to one in-memory build (chunk
+  /// pages + estimated hash table); never exceeds the budget when one is
+  /// set.
+  uint64_t max_build_bytes = 0;
+};
+
 /// Result of a full disk-backed join.
 struct DiskJoinResult {
   DiskPhaseStats partition_phase;  // build relation only, as in Fig 9(a)
@@ -25,6 +76,7 @@ struct DiskJoinResult {
   DiskPhaseStats join_phase;
   uint64_t output_tuples = 0;
   uint32_t num_partitions = 0;
+  DiskJoinRecovery recovery;
 };
 
 /// GRACE hash join over striped page files (§7.2's real-machine setup):
@@ -35,36 +87,95 @@ struct DiskJoinResult {
 /// table (reusing the memoized hash codes stored in the partition page
 /// slots) and streams the probe partition against it. CPU work runs on
 /// real memory; I/O runs on the simulated disk array.
+///
+/// Every fallible path returns a Status: transient I/O faults are
+/// absorbed by the buffer manager's retry layer, and only exhausted
+/// retries or detected corruption (kDataLoss) surface here. Build
+/// partitions that overflow `memory_budget` are recursively repartitioned
+/// with a seed-salted hash (SaltedRehash) and, past the depth cap,
+/// joined with a chunked multipass build — mirroring the hybrid join's
+/// spill logic, but driven by observed (not predicted) partition sizes.
 class DiskGraceJoin {
  public:
   /// `bm` must outlive this object.
+  DiskGraceJoin(BufferManager* bm, const DiskJoinConfig& config);
+
+  /// Convenience: default config with `num_partitions` (legacy callers).
   DiskGraceJoin(BufferManager* bm, uint32_t num_partitions);
 
   /// Writes a memory-resident relation out as a striped page file.
-  BufferManager::FileId StoreRelation(const Relation& rel);
+  StatusOr<BufferManager::FileId> StoreRelation(const Relation& rel);
 
-  /// Partitions `input` into per-partition files; fills `stats`
-  /// (optional) with this pass's I/O measurements.
-  std::vector<BufferManager::FileId> Partition(BufferManager::FileId input,
-                                               DiskPhaseStats* stats);
+  /// Partitions `input` (a StoreRelation file) into per-partition files;
+  /// fills `stats` (optional) with this pass's I/O measurements.
+  StatusOr<std::vector<BufferManager::FileId>> Partition(
+      BufferManager::FileId input, DiskPhaseStats* stats);
 
-  /// Joins partition-file pairs, returning the match count.
-  uint64_t JoinPartitions(
+  /// Joins partition-file pairs, returning the match count. Oversized
+  /// build partitions recurse / fall back as configured.
+  StatusOr<uint64_t> JoinPartitions(
       const std::vector<BufferManager::FileId>& build_parts,
       const std::vector<BufferManager::FileId>& probe_parts,
       DiskPhaseStats* stats);
 
   /// Full join of two stored relations.
-  DiskJoinResult Join(BufferManager::FileId build,
-                      BufferManager::FileId probe);
+  StatusOr<DiskJoinResult> Join(BufferManager::FileId build,
+                                BufferManager::FileId probe);
+
+  const DiskJoinConfig& config() const { return config_; }
 
  private:
+  /// Per-file bookkeeping the sizing decisions need without re-reading
+  /// the file: every file this join writes is recorded here.
+  struct FileStats {
+    uint64_t tuples = 0;
+    uint64_t data_bytes = 0;
+  };
+
   template <typename Fn>
   DiskPhaseStats Measure(Fn&& fn);
 
+  /// Stamps (if configured) and queues one page write, tallying stats.
+  void WritePage(BufferManager::FileId file, uint64_t page_index,
+                 uint8_t* page_bytes);
+  /// End-to-end verification of a page read back from storage.
+  Status VerifyPage(const uint8_t* page_bytes) const;
+
+  /// Splits `input` into `fanout` files. Level 0 hashes the 4-byte key;
+  /// level >= 1 reroutes on SaltedRehash of the memoized hash code. The
+  /// original hash code is memoized in the output slots either way.
+  Status PartitionInto(BufferManager::FileId input,
+                       const std::vector<BufferManager::FileId>& outs,
+                       uint32_t fanout, uint32_t level);
+
+  /// Estimated bytes to join `file`'s pages in memory (pages + table).
+  uint64_t EstimateBuildBytes(BufferManager::FileId file) const;
+
+  /// Joins one (build, probe) partition-file pair at recursion `depth`,
+  /// adding matches to `*matches`.
+  Status JoinPartitionPair(BufferManager::FileId build,
+                           BufferManager::FileId probe, uint32_t depth,
+                           uint64_t* matches);
+
+  /// Depth-cap fallback: stream the build partition in budget-sized
+  /// chunks, probing the full probe partition against each chunk's hash
+  /// table (multipass chunked build).
+  Status JoinChunked(BufferManager::FileId build,
+                     BufferManager::FileId probe, uint64_t* matches);
+
+  /// Builds a hash table over loaded pages and streams the probe file
+  /// against it.
+  Status BuildAndProbe(const std::vector<std::vector<uint8_t>>& build_pages,
+                       uint64_t build_tuples, BufferManager::FileId probe,
+                       uint64_t* matches);
+
+  void NoteBuildBytes(uint64_t pages, uint64_t tuples);
+
   BufferManager* bm_;
-  uint32_t num_partitions_;
+  DiskJoinConfig config_;
   uint32_t page_size_;
+  std::unordered_map<BufferManager::FileId, FileStats> file_stats_;
+  DiskJoinRecovery tally_;  // cumulative skew/recovery tallies
 };
 
 }  // namespace hashjoin

@@ -7,6 +7,21 @@
 
 namespace hashjoin {
 
+/// Partition count of a hybrid hash join: the forced count if set, the
+/// memory-budget sizing otherwise, clamped to at least 2 — hybrid's
+/// structure needs partition 0 (built in place) plus at least one spilled
+/// partition, even when the whole build would fit in memory.
+inline uint32_t HybridPartitionCount(uint64_t build_tuples,
+                                     uint64_t build_bytes,
+                                     const GraceConfig& config) {
+  uint32_t num_parts =
+      config.forced_num_partitions != 0
+          ? config.forced_num_partitions
+          : ComputeNumPartitions(build_tuples, build_bytes,
+                                 config.memory_budget);
+  return num_parts < 2 ? 2 : num_parts;
+}
+
 /// Hybrid hash join [DeWitt et al.], one of the GRACE refinements the
 /// paper's §2 says its techniques apply to: partition 0 never touches
 /// intermediate storage. During the build relation's partition pass its
@@ -22,12 +37,8 @@ JoinResult HybridHashJoin(MM& mm, const Relation& build,
                           const Relation& probe, const GraceConfig& config,
                           Relation* output) {
   JoinResult result;
-  uint32_t num_parts =
-      config.forced_num_partitions != 0
-          ? config.forced_num_partitions
-          : ComputeNumPartitions(build.num_tuples(), build.data_bytes(),
-                                 config.memory_budget);
-  if (num_parts < 2) num_parts = 2;  // partition 0 + at least one spilled
+  uint32_t num_parts = HybridPartitionCount(build.num_tuples(),
+                                            build.data_bytes(), config);
   result.num_partitions = num_parts;
 
   Relation discard(ConcatSchema(build.schema(), probe.schema()),

@@ -1,20 +1,41 @@
 #include "storage/buffer_manager.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 
+#include "util/checksum.h"
 #include "util/logging.h"
 
 namespace hashjoin {
+
+uint32_t RetryPolicy::BackoffUs(uint32_t attempt) const {
+  double us = double(initial_backoff_us) * std::pow(multiplier, attempt);
+  if (us > double(max_backoff_us)) us = double(max_backoff_us);
+  return uint32_t(us);
+}
 
 BufferManager::BufferManager(const BufferManagerConfig& config)
     : config_(config) {
   HJ_CHECK(config_.num_disks >= 1);
   HJ_CHECK(config_.stripe_unit_pages >= 1);
   HJ_CHECK(config_.io_prefetch_depth >= 1);
+  HJ_CHECK(config_.retry.max_attempts >= 1);
+  // A bounded retry loop can only outlast a bounded fault burst.
+  if (config_.disk.fault.enabled()) {
+    HJ_CHECK(config_.retry.max_attempts >
+             config_.disk.fault.max_consecutive_faults)
+        << "retry budget must exceed the injector's consecutive-fault cap";
+  }
   for (uint32_t d = 0; d < config_.num_disks; ++d) {
     auto w = std::make_unique<DiskWorker>();
-    w->disk = std::make_unique<SimulatedDisk>(config_.disk);
+    w->disk = std::make_unique<FaultInjectingDisk>(config_.disk,
+                                                   /*seed_salt=*/d + 1);
+    if (config_.verify_writes) {
+      void* raw = AlignedAlloc(config_.disk.page_size, kCacheLineSize);
+      w->verify_scratch = AlignedBuffer<uint8_t>(static_cast<uint8_t*>(raw));
+    }
     disks_.push_back(std::move(w));
   }
   for (auto& w : disks_) {
@@ -37,6 +58,91 @@ BufferManager::~BufferManager() {
   }
 }
 
+void BufferManager::Backoff(uint32_t attempt) {
+  uint32_t us = config_.retry.BackoffUs(attempt);
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+Status BufferManager::ReadWithRetry(DiskWorker* w, const Request& req) {
+  Status last;
+  for (uint32_t attempt = 0; attempt < config_.retry.max_attempts;
+       ++attempt) {
+    last = w->disk->ReadPage(req.disk_page, req.read_dst);
+    if (!last.ok()) {
+      if (last.code() != StatusCode::kIOError) return last;  // permanent
+      if (attempt + 1 < config_.retry.max_attempts) {
+        read_retries_.fetch_add(1, std::memory_order_relaxed);
+        Backoff(attempt);
+      }
+      continue;
+    }
+    if (req.has_crc &&
+        Crc32(req.read_dst, config_.disk.page_size) != req.expected_crc) {
+      checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+      last = Status::DataLoss("page checksum mismatch");
+      if (attempt + 1 < config_.retry.max_attempts) {
+        read_retries_.fetch_add(1, std::memory_order_relaxed);
+        Backoff(attempt);
+      }
+      continue;
+    }
+    return Status::OK();
+  }
+  return last;
+}
+
+Status BufferManager::RawReadWithRetry(DiskWorker* w, uint64_t disk_page,
+                                       uint8_t* dst) {
+  Status last;
+  for (uint32_t attempt = 0; attempt < config_.retry.max_attempts;
+       ++attempt) {
+    last = w->disk->ReadPage(disk_page, dst);
+    if (last.ok() || last.code() != StatusCode::kIOError) return last;
+    if (attempt + 1 < config_.retry.max_attempts) {
+      read_retries_.fetch_add(1, std::memory_order_relaxed);
+      Backoff(attempt);
+    }
+  }
+  return last;
+}
+
+Status BufferManager::WriteWithRetry(DiskWorker* w, const Request& req) {
+  Status last;
+  for (uint32_t attempt = 0; attempt < config_.retry.max_attempts;
+       ++attempt) {
+    last = w->disk->WritePage(req.disk_page, req.write_data.get());
+    if (!last.ok()) {
+      if (last.code() != StatusCode::kIOError) return last;  // permanent
+      if (attempt + 1 < config_.retry.max_attempts) {
+        write_retries_.fetch_add(1, std::memory_order_relaxed);
+        Backoff(attempt);
+      }
+      continue;
+    }
+    if (config_.verify_writes && req.has_crc) {
+      // Read the page back and compare checksums before declaring the
+      // write durable — the only way to catch a torn write, which
+      // reports success.
+      Status rb = RawReadWithRetry(w, req.disk_page, w->verify_scratch.get());
+      if (!rb.ok()) return rb;
+      if (Crc32(w->verify_scratch.get(), config_.disk.page_size) !=
+          req.expected_crc) {
+        write_verify_failures_.fetch_add(1, std::memory_order_relaxed);
+        last = Status::DataLoss("write verification failed (torn page)");
+        if (attempt + 1 < config_.retry.max_attempts) {
+          write_retries_.fetch_add(1, std::memory_order_relaxed);
+          Backoff(attempt);
+        }
+        continue;
+      }
+    }
+    return Status::OK();
+  }
+  return last;
+}
+
 void BufferManager::WorkerLoop(DiskWorker* w) {
   for (;;) {
     std::unique_ptr<Request> req;
@@ -50,10 +156,14 @@ void BufferManager::WorkerLoop(DiskWorker* w) {
       case Request::Type::kStop:
         return;
       case Request::Type::kRead:
-        req->done.set_value(w->disk->ReadPage(req->disk_page, req->read_dst));
+        req->done.set_value(ReadWithRetry(w, *req));
         break;
       case Request::Type::kWrite: {
-        Status s = w->disk->WritePage(req->disk_page, req->write_data.get());
+        Status s = WriteWithRetry(w, *req);
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lock(writes_mu_);
+          if (first_write_error_.ok()) first_write_error_ = s;
+        }
         req->done.set_value(std::move(s));
         uint64_t left = pending_writes_.fetch_sub(1) - 1;
         if (left == 0) {
@@ -81,26 +191,33 @@ void BufferManager::WritePageAsync(FileId file, uint64_t page_index,
                                    const void* data) {
   uint32_t disk_id = DiskOf(file, page_index);
   DiskWorker* w = disks_[disk_id].get();
-  uint64_t disk_page;
+  auto req = std::make_unique<Request>();
+  req->type = Request::Type::kWrite;
+  void* copy = AlignedAlloc(config_.disk.page_size, kCacheLineSize);
+  std::memcpy(copy, data, config_.disk.page_size);
+  req->write_data = AlignedBuffer<uint8_t>(static_cast<uint8_t*>(copy));
+  if (config_.checksum_pages) {
+    req->expected_crc = Crc32(req->write_data.get(), config_.disk.page_size);
+    req->has_crc = true;
+  }
   {
     std::lock_guard<std::mutex> lock(files_mu_);
     FileMeta& meta = files_[file];
     if (page_index < meta.pages.size()) {
-      disk_page = meta.pages[page_index].second;
+      req->disk_page = meta.pages[page_index].disk_page;
+      meta.pages[page_index].crc = req->expected_crc;
     } else {
       HJ_CHECK(page_index == meta.pages.size())
           << "file pages must be written densely";
       std::lock_guard<std::mutex> wlock(w->mu);
-      disk_page = w->next_free_page++;
-      meta.pages.emplace_back(disk_id, disk_page);
+      PagePlacement placement;
+      placement.disk = disk_id;
+      placement.disk_page = w->next_free_page++;
+      placement.crc = req->expected_crc;
+      req->disk_page = placement.disk_page;
+      meta.pages.push_back(placement);
     }
   }
-  auto req = std::make_unique<Request>();
-  req->type = Request::Type::kWrite;
-  req->disk_page = disk_page;
-  void* copy = AlignedAlloc(config_.disk.page_size, kCacheLineSize);
-  std::memcpy(copy, data, config_.disk.page_size);
-  req->write_data = AlignedBuffer<uint8_t>(static_cast<uint8_t*>(copy));
   pending_writes_.fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(w->mu);
@@ -109,29 +226,34 @@ void BufferManager::WritePageAsync(FileId file, uint64_t page_index,
   w->cv.notify_one();
 }
 
-void BufferManager::FlushWrites() {
+Status BufferManager::FlushWrites() {
   WallTimer wait;
   std::unique_lock<std::mutex> lock(writes_mu_);
   writes_cv_.wait(lock, [&] { return pending_writes_.load() == 0; });
   main_stall_ns_.fetch_add(wait.ElapsedNanos());
+  Status s = std::move(first_write_error_);
+  first_write_error_ = Status::OK();
+  return s;
 }
 
 std::future<Status> BufferManager::EnqueueRead(FileId file,
                                                uint64_t page_index,
                                                uint8_t* dst) {
   uint32_t disk_id;
-  uint64_t disk_page;
+  auto req = std::make_unique<Request>();
+  req->type = Request::Type::kRead;
+  req->read_dst = dst;
   {
     std::lock_guard<std::mutex> lock(files_mu_);
     const FileMeta& meta = files_[file];
     HJ_CHECK(page_index < meta.pages.size()) << "read past end of file";
-    disk_id = meta.pages[page_index].first;
-    disk_page = meta.pages[page_index].second;
+    disk_id = meta.pages[page_index].disk;
+    req->disk_page = meta.pages[page_index].disk_page;
+    if (config_.checksum_pages) {
+      req->expected_crc = meta.pages[page_index].crc;
+      req->has_crc = true;
+    }
   }
-  auto req = std::make_unique<Request>();
-  req->type = Request::Type::kRead;
-  req->disk_page = disk_page;
-  req->read_dst = dst;
   std::future<Status> fut = req->done.get_future();
   DiskWorker* w = disks_[disk_id].get();
   {
@@ -157,6 +279,16 @@ double BufferManager::max_disk_busy_seconds() const {
   return mx;
 }
 
+IoRecoveryStats BufferManager::recovery_stats() const {
+  IoRecoveryStats s;
+  s.read_retries = read_retries_.load();
+  s.write_retries = write_retries_.load();
+  s.checksum_failures = checksum_failures_.load();
+  s.write_verify_failures = write_verify_failures_.load();
+  for (const auto& w : disks_) s.injected_faults += w->disk->injected_faults();
+  return s;
+}
+
 BufferManager::Scanner::Scanner(BufferManager* bm, FileId file)
     : bm_(bm), file_(file), num_pages_(bm->FileNumPages(file)) {
   frames_.resize(bm_->config_.io_prefetch_depth);
@@ -165,6 +297,12 @@ BufferManager::Scanner::Scanner(BufferManager* bm, FileId file)
     f.buffer = AlignedBuffer<uint8_t>(static_cast<uint8_t*>(raw));
   }
   IssueReadAhead();
+}
+
+BufferManager::Scanner::~Scanner() {
+  for (auto& f : frames_) {
+    if (f.ready.valid()) f.ready.wait();
+  }
 }
 
 void BufferManager::Scanner::IssueReadAhead() {
@@ -178,8 +316,9 @@ void BufferManager::Scanner::IssueReadAhead() {
   }
 }
 
-const uint8_t* BufferManager::Scanner::NextPage() {
-  if (next_to_return_ >= num_pages_) return nullptr;
+Status BufferManager::Scanner::NextPage(const uint8_t** page) {
+  *page = nullptr;
+  if (next_to_return_ >= num_pages_) return Status::OK();
   Frame& f = frames_[next_to_return_ % frames_.size()];
   // Only genuine not-ready waits count as main-thread I/O stall; a
   // ready future's get() is bookkeeping, not I/O.
@@ -189,11 +328,11 @@ const uint8_t* BufferManager::Scanner::NextPage() {
     f.ready.wait();
     bm_->main_stall_ns_.fetch_add(wait.ElapsedNanos());
   }
-  Status s = f.ready.get();
-  HJ_CHECK_OK(s);
+  HJ_RETURN_IF_ERROR(f.ready.get());
   ++next_to_return_;
   IssueReadAhead();
-  return f.buffer.get();
+  *page = f.buffer.get();
+  return Status::OK();
 }
 
 }  // namespace hashjoin

@@ -12,11 +12,38 @@
 #include <vector>
 
 #include "storage/disk.h"
+#include "storage/fault_injection.h"
 #include "util/aligned.h"
 #include "util/status.h"
 #include "util/timer.h"
 
 namespace hashjoin {
+
+/// Bounded exponential backoff for transient I/O faults. An operation is
+/// tried up to max_attempts times; attempt k sleeps
+/// min(initial_backoff_us * multiplier^k, max_backoff_us) before
+/// retrying. Only transient failures (kIOError, checksum mismatches) are
+/// retried; permanent errors (kOutOfRange, ...) surface immediately.
+struct RetryPolicy {
+  uint32_t max_attempts = 6;
+  uint32_t initial_backoff_us = 20;
+  double multiplier = 2.0;
+  uint32_t max_backoff_us = 2000;
+
+  /// Microseconds to sleep before retry number `attempt` (0-based).
+  uint32_t BackoffUs(uint32_t attempt) const;
+};
+
+/// Recovery-action counters of the fault-tolerant I/O path; all values
+/// are cumulative since construction. Callers diff snapshots to get
+/// per-phase numbers.
+struct IoRecoveryStats {
+  uint64_t read_retries = 0;    ///< reads re-issued after transient error
+  uint64_t write_retries = 0;   ///< writes re-issued after transient error
+  uint64_t checksum_failures = 0;  ///< read pages failing CRC (then retried)
+  uint64_t write_verify_failures = 0;  ///< read-back mismatches (rewritten)
+  uint64_t injected_faults = 0;  ///< faults the injector actually delivered
+};
 
 /// Buffer manager configuration (paper §7.2: relations striped across all
 /// disks in 256KB units, a dedicated worker thread per disk, I/O
@@ -27,6 +54,18 @@ struct BufferManagerConfig {
   uint32_t stripe_unit_pages = 32;  // 32 x 8KB = 256KB stripe unit
   uint32_t io_prefetch_depth = 96;  // read-ahead window per scan (3 stripes,
                                     // so several disks stream in parallel)
+  /// Per-page CRC32, computed when a page is queued for write and
+  /// verified (with retries) when it is read back. Catches torn pages
+  /// and corruption anywhere between the write queue and the read frame.
+  bool checksum_pages = true;
+  /// Read every written page back and compare checksums before declaring
+  /// the write durable; mismatches trigger a rewrite. This is the
+  /// defense against torn writes (which report success), at the price of
+  /// one extra read per write — enable it when the device can tear
+  /// pages, e.g. whenever fault.torn_page_rate > 0.
+  bool verify_writes = false;
+  /// Retry/backoff policy for transient faults and checksum mismatches.
+  RetryPolicy retry;
 };
 
 /// Stripes page files across simulated disks, with one worker thread per
@@ -35,6 +74,13 @@ struct BufferManagerConfig {
 /// in the background, so I/O overlaps with computation as much as the
 /// disks allow. Tracks the Figure-9 measurements: per-disk busy time and
 /// the main thread's time blocked waiting for workers.
+///
+/// Fault tolerance: every page gets a CRC32 on write; reads verify it.
+/// Transient device errors and checksum mismatches are retried with
+/// bounded exponential backoff on the owning worker thread; only
+/// exhausted retries surface a Status (kDataLoss for persistent
+/// corruption) to the caller — reads via Scanner::NextPage, writes via
+/// FlushWrites.
 class BufferManager {
  public:
   using FileId = uint32_t;
@@ -48,13 +94,16 @@ class BufferManager {
   /// Creates an empty striped file.
   FileId CreateFile();
 
-  /// Appends/overwrites page `page_index`; the data is copied and written
-  /// in the background. Pages of a file must be written densely (the hash
-  /// join writes partitions sequentially).
+  /// Appends/overwrites page `page_index`; the data is copied (and
+  /// checksummed) synchronously, then written in the background. Pages
+  /// of a file must be written densely (the hash join writes partitions
+  /// sequentially). Write failures surface at the next FlushWrites.
   void WritePageAsync(FileId file, uint64_t page_index, const void* data);
 
-  /// Blocks until every queued write has reached its disk.
-  void FlushWrites();
+  /// Blocks until every queued write has reached its disk. Returns the
+  /// first write error since the previous FlushWrites (after retries
+  /// were exhausted), OK otherwise.
+  Status FlushWrites();
 
   uint64_t FileNumPages(FileId file) const;
 
@@ -63,9 +112,18 @@ class BufferManager {
    public:
     Scanner(BufferManager* bm, FileId file);
 
-    /// Returns the next page's bytes (valid until the next call), or
-    /// nullptr at end of file. Blocks only when read-ahead fell behind.
-    const uint8_t* NextPage();
+    /// Drains in-flight read-ahead requests: a scan abandoned mid-file
+    /// (e.g. after an I/O error) must not free frame buffers a disk
+    /// worker is still writing into.
+    ~Scanner();
+
+    Scanner(Scanner&&) = default;
+
+    /// Stores the next page's bytes (valid until the next call) in
+    /// `*page`, or nullptr at end of file. Blocks only when read-ahead
+    /// fell behind. A non-OK status (transient faults that survived all
+    /// retries, or kDataLoss for corruption) ends the scan.
+    Status NextPage(const uint8_t** page);
 
    private:
     void IssueReadAhead();
@@ -97,6 +155,9 @@ class BufferManager {
   /// get per-phase utilization).
   std::vector<double> DiskBusySeconds() const;
 
+  /// Cumulative recovery-action counters (callers diff snapshots).
+  IoRecoveryStats recovery_stats() const;
+
   uint32_t num_disks() const { return uint32_t(disks_.size()); }
   const BufferManagerConfig& config() const { return config_; }
 
@@ -106,24 +167,39 @@ class BufferManager {
     uint64_t disk_page = 0;
     uint8_t* read_dst = nullptr;             // kRead
     AlignedBuffer<uint8_t> write_data;       // kWrite (owned copy)
+    uint32_t expected_crc = 0;
+    bool has_crc = false;
     std::promise<Status> done;
   };
 
   struct DiskWorker {
-    std::unique_ptr<SimulatedDisk> disk;
+    std::unique_ptr<FaultInjectingDisk> disk;
     std::thread thread;
     std::mutex mu;
     std::condition_variable cv;
     std::deque<std::unique_ptr<Request>> queue;
     uint64_t next_free_page = 0;  // simple sequential allocator
+    AlignedBuffer<uint8_t> verify_scratch;  // write-verify read-back buffer
+  };
+
+  struct PagePlacement {
+    uint32_t disk = 0;
+    uint64_t disk_page = 0;
+    uint32_t crc = 0;
   };
 
   struct FileMeta {
-    // page_index -> (disk, disk_page)
-    std::vector<std::pair<uint32_t, uint64_t>> pages;
+    std::vector<PagePlacement> pages;  // indexed by page_index
   };
 
   void WorkerLoop(DiskWorker* w);
+  Status ReadWithRetry(DiskWorker* w, const Request& req);
+  Status WriteWithRetry(DiskWorker* w, const Request& req);
+  /// Plain device read retried on transient errors only (no checksum) —
+  /// the write-verify read-back, which compares CRCs itself.
+  Status RawReadWithRetry(DiskWorker* w, uint64_t disk_page, uint8_t* dst);
+  void Backoff(uint32_t attempt);
+
   std::future<Status> EnqueueRead(FileId file, uint64_t page_index,
                                   uint8_t* dst);
   /// Stripe placement, staggered by file id so that small files (e.g.
@@ -142,6 +218,11 @@ class BufferManager {
   std::atomic<uint64_t> pending_writes_{0};
   std::mutex writes_mu_;
   std::condition_variable writes_cv_;
+  Status first_write_error_;  // guarded by writes_mu_
+  std::atomic<uint64_t> read_retries_{0};
+  std::atomic<uint64_t> write_retries_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
+  std::atomic<uint64_t> write_verify_failures_{0};
 };
 
 }  // namespace hashjoin

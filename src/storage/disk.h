@@ -10,6 +10,37 @@
 
 namespace hashjoin {
 
+/// Deterministic fault-injection knobs for one simulated disk. All
+/// injected faults are seeded, so a run with the same seed and the same
+/// operation sequence injects the same faults — the fault-tolerance
+/// tests rely on this to assert exact recovery counters.
+struct FaultConfig {
+  /// Probability a ReadPage returns a transient kIOError (no transfer).
+  double read_error_rate = 0;
+  /// Probability a WritePage returns a transient kIOError (no write).
+  double write_error_rate = 0;
+  /// Probability a WritePage tears: only the first half of the page
+  /// reaches the platter, the rest is junk, and the call reports OK —
+  /// silent corruption only a page checksum can catch.
+  double torn_page_rate = 0;
+  /// Seed of the per-disk fault RNG (the buffer manager salts it with
+  /// the disk id so disks fault independently but reproducibly).
+  uint64_t seed = 0x5EEDu;
+  /// Upper bound on back-to-back injected faults of one kind, so a
+  /// bounded retry loop is guaranteed to eventually see a clean
+  /// operation. Keep below the retry policy's max_attempts.
+  uint32_t max_consecutive_faults = 3;
+  /// Scripted faults: per-disk operation indices (reads and writes
+  /// share one counter) that return a transient error regardless of the
+  /// probabilistic rates. Lets unit tests place a fault exactly.
+  std::vector<uint64_t> scripted_error_ops;
+
+  bool enabled() const {
+    return read_error_rate > 0 || write_error_rate > 0 ||
+           torn_page_rate > 0 || !scripted_error_ops.empty();
+  }
+};
+
 /// Timing model for one simulated disk.
 struct DiskConfig {
   /// Sustained sequential transfer rate. The paper's Seagate Cheetah
@@ -19,6 +50,8 @@ struct DiskConfig {
   /// Fixed per-request overhead (controller + sequential positioning).
   uint32_t request_latency_us = 50;
   uint32_t page_size = 8 * 1024;
+  /// Fault injection (off by default: all rates zero, no script).
+  FaultConfig fault;
 };
 
 /// A RAM-backed disk that charges transfer time by busy-waiting/sleeping.

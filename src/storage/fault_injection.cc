@@ -1,0 +1,78 @@
+#include "storage/fault_injection.h"
+
+#include <cstring>
+
+namespace hashjoin {
+
+FaultInjectingDisk::FaultInjectingDisk(const DiskConfig& config,
+                                       uint64_t seed_salt)
+    : disk_(config),
+      fault_(config.fault),
+      rng_(config.fault.seed + seed_salt * 0x9E3779B97F4A7C15ULL),
+      scripted_ops_(config.fault.scripted_error_ops.begin(),
+                    config.fault.scripted_error_ops.end()) {
+  if (fault_.torn_page_rate > 0) {
+    void* raw = AlignedAlloc(config.page_size, kCacheLineSize);
+    tear_scratch_ = AlignedBuffer<uint8_t>(static_cast<uint8_t*>(raw));
+  }
+}
+
+bool FaultInjectingDisk::ShouldInjectError(double rate) {
+  uint64_t op = op_index_++;
+  bool scripted = !scripted_ops_.empty() && scripted_ops_.count(op) > 0;
+  // Draw even when capped so the random sequence (and thus every later
+  // fault) does not depend on how many retries earlier ops needed.
+  bool probabilistic = rate > 0 && rng_.NextBool(rate);
+  if (!scripted && !probabilistic) {
+    consecutive_errors_ = 0;
+    return false;
+  }
+  if (consecutive_errors_ >= fault_.max_consecutive_faults) {
+    consecutive_errors_ = 0;
+    return false;
+  }
+  ++consecutive_errors_;
+  return true;
+}
+
+bool FaultInjectingDisk::ShouldInjectTear() {
+  if (fault_.torn_page_rate <= 0 || !rng_.NextBool(fault_.torn_page_rate)) {
+    consecutive_tears_ = 0;
+    return false;
+  }
+  if (consecutive_tears_ >= fault_.max_consecutive_faults) {
+    consecutive_tears_ = 0;
+    return false;
+  }
+  ++consecutive_tears_;
+  return true;
+}
+
+Status FaultInjectingDisk::ReadPage(uint64_t page, void* dst) {
+  if (fault_.enabled() && ShouldInjectError(fault_.read_error_rate)) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected transient read error");
+  }
+  return disk_.ReadPage(page, dst);
+}
+
+Status FaultInjectingDisk::WritePage(uint64_t page, const void* src) {
+  if (!fault_.enabled()) return disk_.WritePage(page, src);
+  if (ShouldInjectError(fault_.write_error_rate)) {
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected transient write error");
+  }
+  if (ShouldInjectTear()) {
+    // Persist the first half, junk the rest, and *report success* — the
+    // signature of a torn page. Detection is the checksum layer's job.
+    const uint32_t page_size = disk_.config().page_size;
+    std::memcpy(tear_scratch_.get(), src, page_size / 2);
+    std::memset(tear_scratch_.get() + page_size / 2, 0xDE,
+                page_size - page_size / 2);
+    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    return disk_.WritePage(page, tear_scratch_.get());
+  }
+  return disk_.WritePage(page, src);
+}
+
+}  // namespace hashjoin

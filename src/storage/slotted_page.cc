@@ -1,5 +1,8 @@
 #include "storage/slotted_page.h"
 
+#include <cstddef>
+
+#include "util/checksum.h"
 #include "util/logging.h"
 
 namespace hashjoin {
@@ -11,7 +14,28 @@ SlottedPage SlottedPage::Format(void* buffer, uint32_t page_size) {
   h->slot_count = 0;
   h->free_offset = sizeof(PageHeader);
   h->page_size = page_size;
+  h->checksum = 0;
   return page;
+}
+
+uint32_t SlottedPage::ComputeChecksum() const {
+  // Sum the page with the checksum field replaced by zeroes, chaining
+  // the CRC across the three byte ranges.
+  const size_t field_off = offsetof(PageHeader, checksum);
+  const uint32_t zero = 0;
+  uint32_t crc = Crc32(base_, field_off);
+  crc = Crc32(&zero, sizeof(zero), crc);
+  crc = Crc32(base_ + field_off + sizeof(zero),
+              header()->page_size - field_off - sizeof(zero), crc);
+  return crc;
+}
+
+void SlottedPage::StampChecksum() {
+  mutable_header()->checksum = ComputeChecksum();
+}
+
+bool SlottedPage::VerifyChecksum() const {
+  return header()->checksum == ComputeChecksum();
 }
 
 uint32_t SlottedPage::FreeSpace() const {

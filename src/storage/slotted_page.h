@@ -27,6 +27,10 @@ class SlottedPage {
     uint16_t slot_count;
     uint16_t free_offset;  // start of unused space (grows up)
     uint32_t page_size;
+    /// CRC32 over the whole page with this field zeroed; stamped before
+    /// a page goes to storage, verified after it comes back. 0 on pages
+    /// that were never stamped (Format clears it).
+    uint32_t checksum;
   };
 
   struct Slot {
@@ -64,6 +68,19 @@ class SlottedPage {
 
   /// Bytes still available for one more tuple (data + slot entry).
   uint32_t FreeSpace() const;
+
+  /// CRC32 over the full page with the header checksum field treated as
+  /// zero (so stamping does not change what is summed).
+  uint32_t ComputeChecksum() const;
+
+  /// Writes ComputeChecksum() into the header. Call after the last
+  /// mutation, right before the page is handed to storage.
+  void StampChecksum();
+
+  /// True iff the stored checksum matches the page contents. Pages are
+  /// mutated in memory after Format/AddTuple without re-stamping, so only
+  /// call this on pages that round-tripped through storage.
+  bool VerifyChecksum() const;
 
   /// Address of the slot array entry (used by prefetching kernels).
   const Slot* GetSlot(int i) const {

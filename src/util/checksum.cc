@@ -1,0 +1,38 @@
+#include "util/checksum.h"
+
+namespace hashjoin {
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t length, uint32_t seed) {
+  const Crc32Table& table = Table();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  // The final inversion of one call cancels against the initial
+  // inversion of the next, which is what makes chaining via `seed` work.
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < length; ++i) {
+    crc = table.entries[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace hashjoin

@@ -1,0 +1,24 @@
+#ifndef HASHJOIN_UTIL_CHECKSUM_H_
+#define HASHJOIN_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hashjoin {
+
+/// CRC32 (reflected, polynomial 0xEDB88320) over `length` bytes.
+///
+/// The `seed` parameter chains calls: pass a previous result to extend
+/// the checksum over a discontiguous byte range, as the page-checksum
+/// code does to skip the in-header checksum field itself.
+/// Crc32(a+b) == Crc32(b, Crc32(a)); the empty range returns `seed`.
+///
+/// Used as the page-integrity check of the fault-tolerant I/O path:
+/// the buffer manager stamps every page on write and verifies on read,
+/// turning torn pages and bit rot into detected (and usually retried)
+/// errors instead of silent corruption.
+uint32_t Crc32(const void* data, size_t length, uint32_t seed = 0);
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_UTIL_CHECKSUM_H_

@@ -19,6 +19,10 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kUnimplemented,
+  /// Data failed an integrity check (page checksum mismatch) and retries
+  /// were exhausted: unlike kIOError, retrying will not help — the bytes
+  /// on the device are wrong.
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a status code ("OK", "IOError", ...).
@@ -56,6 +60,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -109,6 +116,19 @@ class StatusOr {
     ::hashjoin::Status _hj_st = (expr);       \
     if (!_hj_st.ok()) return _hj_st;          \
   } while (0)
+
+#define HJ_STATUS_CONCAT_INNER_(a, b) a##b
+#define HJ_STATUS_CONCAT_(a, b) HJ_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates a StatusOr<T> expression; on error returns the Status to
+/// the caller, otherwise moves the value into `lhs` (which may be a
+/// declaration: HJ_ASSIGN_OR_RETURN(auto file, StoreRelation(rel))).
+#define HJ_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  auto HJ_STATUS_CONCAT_(_hj_statusor_, __LINE__) = (expr);              \
+  if (!HJ_STATUS_CONCAT_(_hj_statusor_, __LINE__).ok()) {                \
+    return HJ_STATUS_CONCAT_(_hj_statusor_, __LINE__).status();          \
+  }                                                                      \
+  lhs = std::move(HJ_STATUS_CONCAT_(_hj_statusor_, __LINE__)).value()
 
 }  // namespace hashjoin
 

@@ -162,6 +162,75 @@ INSTANTIATE_TEST_SUITE_P(AllSchemes, HybridJoinTest,
                            return SchemeName(info.param);
                          });
 
+TEST(HybridPartitionCountTest, ClampsToTwoWhenEverythingFits) {
+  GraceConfig config;
+  config.memory_budget = 1ull << 30;  // whole build fits in memory
+  // Hybrid still needs partition 0 plus at least one spilled partition.
+  EXPECT_EQ(HybridPartitionCount(1000, 100 * 1000, config), 2u);
+  // forced_num_partitions is honored, but also clamped.
+  config.forced_num_partitions = 1;
+  EXPECT_EQ(HybridPartitionCount(1000, 100 * 1000, config), 2u);
+  config.forced_num_partitions = 9;
+  EXPECT_EQ(HybridPartitionCount(1000, 100 * 1000, config), 9u);
+}
+
+TEST(HybridPartitionCountTest, MatchesBudgetSizingWhenSpilling) {
+  GraceConfig config;
+  config.memory_budget = 64 * 1024;
+  uint32_t n = HybridPartitionCount(50000, 50000 * 20, config);
+  EXPECT_EQ(n, ComputeNumPartitions(50000, 50000 * 20, config.memory_budget));
+  EXPECT_GE(n, 2u);
+}
+
+// The budget-forced clamp path end to end: a workload whose sizing alone
+// would say "1 partition" must still produce correct results through the
+// partition-0-in-place + spill structure.
+TEST(HybridJoinTest, ClampedTinyWorkloadStillJoinsCorrectly) {
+  WorkloadSpec spec;
+  spec.num_build_tuples = 500;
+  spec.tuple_size = 20;
+  spec.matches_per_build = 2.0;
+  JoinWorkload w = GenerateJoinWorkload(spec);
+  GraceConfig config;
+  config.memory_budget = 1ull << 30;
+  config.page_size = 2048;
+  RealMemory mm;
+  JoinResult r = HybridHashJoin(mm, w.build, w.probe, config, nullptr);
+  EXPECT_EQ(r.num_partitions, 2u);
+  EXPECT_EQ(r.output_tuples, w.expected_matches);
+}
+
+// Partition 0 never touches intermediate storage while every other
+// partition spills: re-run the two passes structurally by checking that
+// spilled partitions hold exactly the non-partition-0 tuples.
+TEST(HybridJoinTest, SpilledPartitionsExcludePartitionZero) {
+  WorkloadSpec spec;
+  spec.num_build_tuples = 6000;
+  spec.tuple_size = 20;
+  spec.matches_per_build = 1.0;
+  JoinWorkload w = GenerateJoinWorkload(spec);
+  GraceConfig config;
+  config.forced_num_partitions = 5;
+  config.page_size = 2048;
+  RealMemory mm;
+  JoinResult r = HybridHashJoin(mm, w.build, w.probe, config, nullptr);
+  EXPECT_EQ(r.num_partitions, 5u);
+  EXPECT_EQ(r.output_tuples, w.expected_matches);
+  // Cross-check the spill fraction: tuples with hash % 5 != 0 spill. The
+  // join's own structure cannot be observed from outside, so recompute
+  // the expected split and make sure it is non-degenerate — a workload
+  // where partition 0 is empty (or everything lands there) would not
+  // exercise the in-place path at all.
+  uint64_t in_place = 0;
+  w.build.ForEachTuple([&](const uint8_t* t, uint16_t, uint32_t) {
+    uint32_t key;
+    std::memcpy(&key, t, 4);
+    if (HashKey32(key) % 5 == 0) ++in_place;
+  });
+  EXPECT_GT(in_place, 0u);
+  EXPECT_LT(in_place, w.build.num_tuples());
+}
+
 // ---------- software-pipelined aggregation ----------
 
 class AggregateSwpTest : public ::testing::TestWithParam<uint32_t> {};

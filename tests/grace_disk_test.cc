@@ -27,11 +27,19 @@ TEST_P(DiskGraceJoinTest, EndToEndMatchesExpected) {
   DiskGraceJoin join(&bm, 7);
   auto build = join.StoreRelation(w.build);
   auto probe = join.StoreRelation(w.probe);
-  DiskJoinResult r = join.Join(build, probe);
-  EXPECT_EQ(r.output_tuples, w.expected_matches);
-  EXPECT_EQ(r.num_partitions, 7u);
-  EXPECT_GT(r.partition_phase.elapsed_seconds, 0.0);
-  EXPECT_GT(r.join_phase.elapsed_seconds, 0.0);
+  ASSERT_TRUE(build.ok()) << build.status().ToString();
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  auto r = join.Join(build.value(), probe.value());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().output_tuples, w.expected_matches);
+  EXPECT_EQ(r.value().num_partitions, 7u);
+  EXPECT_GT(r.value().partition_phase.elapsed_seconds, 0.0);
+  EXPECT_GT(r.value().join_phase.elapsed_seconds, 0.0);
+  // A clean, well-balanced run needs no recovery actions at all.
+  EXPECT_EQ(r.value().recovery.read_retries, 0u);
+  EXPECT_EQ(r.value().recovery.checksum_failures, 0u);
+  EXPECT_EQ(r.value().recovery.recursive_splits, 0u);
+  EXPECT_EQ(r.value().recovery.chunked_fallbacks, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(DiskCounts, DiskGraceJoinTest,
@@ -42,13 +50,18 @@ TEST(DiskGraceJoinTest, PartitionFilesPreserveEverything) {
   BufferManager bm(FastDisks(3));
   DiskGraceJoin join(&bm, 5);
   auto file = join.StoreRelation(input);
-  auto parts = join.Partition(file, nullptr);
+  ASSERT_TRUE(file.ok());
+  auto parts_or = join.Partition(file.value(), nullptr);
+  ASSERT_TRUE(parts_or.ok()) << parts_or.status().ToString();
+  const auto& parts = parts_or.value();
   ASSERT_EQ(parts.size(), 5u);
   uint64_t total = 0;
   for (uint32_t p = 0; p < parts.size(); ++p) {
     auto scan = bm.OpenScan(parts[p]);
-    while (const uint8_t* page = scan.NextPage()) {
+    const uint8_t* page = nullptr;
+    while (scan.NextPage(&page).ok() && page != nullptr) {
       SlottedPage pg = SlottedPage::Attach(const_cast<uint8_t*>(page));
+      EXPECT_TRUE(pg.VerifyChecksum());  // stamped by the join's writer
       total += pg.slot_count();
       for (int s = 0; s < pg.slot_count(); ++s) {
         // Memoized hash codes route every tuple to this partition.
@@ -65,8 +78,48 @@ TEST(DiskGraceJoinTest, EmptyRelationsJoinToNothing) {
   DiskGraceJoin join(&bm, 3);
   auto b = join.StoreRelation(empty);
   auto p = join.StoreRelation(empty);
-  DiskJoinResult r = join.Join(b, p);
-  EXPECT_EQ(r.output_tuples, 0u);
+  ASSERT_TRUE(b.ok() && p.ok());
+  auto r = join.Join(b.value(), p.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().output_tuples, 0u);
+}
+
+TEST(DiskGraceJoinTest, MismatchedPartitionListsAreRejected) {
+  BufferManager bm(FastDisks(1));
+  DiskGraceJoin join(&bm, 3);
+  std::vector<BufferManager::FileId> two = {bm.CreateFile(), bm.CreateFile()};
+  std::vector<BufferManager::FileId> one = {bm.CreateFile()};
+  auto r = join.JoinPartitions(two, one, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DiskGraceJoinTest, BudgetedJoinRecursesInsteadOfOverrunningMemory) {
+  // Unskewed workload with a budget far below one partition's footprint:
+  // every partition must recurse (possibly multiple levels) yet the
+  // result must match, and no in-memory build may exceed the budget.
+  WorkloadSpec spec;
+  spec.num_build_tuples = 6000;
+  spec.tuple_size = 100;
+  spec.matches_per_build = 1.0;
+  JoinWorkload w = GenerateJoinWorkload(spec);
+
+  BufferManager bm(FastDisks(2));
+  DiskJoinConfig cfg;
+  cfg.num_partitions = 4;
+  cfg.memory_budget = 96 * 1024;
+  cfg.overflow_fanout = 4;
+  cfg.max_recursion_depth = 6;
+  DiskGraceJoin join(&bm, cfg);
+  auto b = join.StoreRelation(w.build);
+  auto p = join.StoreRelation(w.probe);
+  ASSERT_TRUE(b.ok() && p.ok());
+  auto r = join.Join(b.value(), p.value());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().output_tuples, w.expected_matches);
+  EXPECT_GT(r.value().recovery.recursive_splits, 0u);
+  EXPECT_GE(r.value().recovery.deepest_recursion, 1u);
+  EXPECT_LE(r.value().recovery.max_build_bytes, cfg.memory_budget);
 }
 
 }  // namespace
