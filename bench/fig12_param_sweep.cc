@@ -82,10 +82,17 @@ int main(int argc, char** argv) {
                               2 * def.cost_tuple_copy_per_line}};
   for (uint32_t latency : {150u, 1000u}) {
     model::MachineParams m{latency, def.memory_bandwidth_gap};
+    // MinGroupSize/MinDistance return 0 when no parameter within the
+    // search cap satisfies the theorem; configuring a kernel with that
+    // sentinel (G=0 / D=0) would be a bug, so route the choice through
+    // ChooseParams, which clamps to a safe fallback and warns.
+    model::ParamChoice choice = model::ChooseParams(costs, m);
     std::printf(
-        "\nmodel @T=%u: min G (Thm 1) = %u, min D (Thm 2) = %u\n", latency,
-        model::GroupPrefetchModel::MinGroupSize(costs, m),
-        model::SwpPrefetchModel::MinDistance(costs, m));
+        "\nmodel @T=%u: min G (Thm 1) = %u%s, min D (Thm 2) = %u%s\n",
+        latency, choice.group_size,
+        choice.group_feasible ? "" : " (infeasible; clamped fallback)",
+        choice.prefetch_distance,
+        choice.swp_feasible ? "" : " (infeasible; clamped fallback)");
   }
   std::printf(
       "\npaper: concave curves; optima G=19, D=1 at T=150, shifting right "

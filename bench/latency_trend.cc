@@ -55,9 +55,13 @@ int main(int argc, char** argv) {
                             cfg.cost_key_compare +
                                 2 * cfg.cost_tuple_copy_per_line}};
     model::MachineParams machine{latency, cfg.memory_bandwidth_gap};
-    uint32_t g = model::GroupPrefetchModel::MinGroupSize(costs, machine);
-    uint32_t d = model::SwpPrefetchModel::MinDistance(costs, machine);
-    if (g == 0) g = 64;
+    // ChooseParams resolves the 0 "infeasible" sentinels of
+    // MinGroupSize/MinDistance (G=0 or D=0 would misconfigure the
+    // kernels) to safe fallbacks, with a logged warning.
+    model::ParamChoice choice = model::ChooseParams(
+        costs, machine, /*fallback_group=*/64, /*fallback_distance=*/4);
+    uint32_t g = choice.group_size;
+    uint32_t d = choice.prefetch_distance;
 
     uint64_t base = ProbeCycles(Scheme::kBaseline, w, KernelParams{}, cfg);
     KernelParams gp;
@@ -66,7 +70,9 @@ int main(int argc, char** argv) {
     KernelParams sp;
     sp.prefetch_distance = d;
     uint64_t swp = ProbeCycles(Scheme::kSwp, w, sp, cfg);
-    std::printf("%-8u %6u %6u %14llu %14llu %14llu\n", latency, g, d,
+    std::printf("%-8u %6u%s %5u%s %14llu %14llu %14llu\n", latency, g,
+                choice.group_feasible ? " " : "!",
+                d, choice.swp_feasible ? " " : "!",
                 (unsigned long long)base, (unsigned long long)group,
                 (unsigned long long)swp);
   }

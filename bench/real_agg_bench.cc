@@ -3,37 +3,55 @@
 // and software-pipelined prefetching across group counts (cache-resident
 // to far-beyond-cache accumulators).
 
+// --json[=path] switches to the machine-readable harness (see
+// src/perf/bench_reporter.h), writing BENCH_real_agg.json; --smoke
+// shrinks the fact table for ctest; --auto-tune calibrates T/Tnext and
+// picks G and D from the models.
+
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "join/aggregate_kernels.h"
 #include "mem/memory_model.h"
+#include "model/cost_model.h"
+#include "perf/bench_reporter.h"
+#include "perf/calibrate.h"
+#include "simcache/sim_config.h"
 #include "util/bitops.h"
+#include "util/flags.h"
+#include "util/json_writer.h"
 #include "util/random.h"
 #include "workload/generator.h"
 
 namespace hashjoin {
 namespace {
 
+Relation MakeFacts(uint64_t groups, uint64_t num_tuples) {
+  Relation r(Schema({{"key", AttrType::kInt32, 4},
+                     {"value", AttrType::kInt64, 8},
+                     {"pad", AttrType::kFixedChar, 8}}));
+  Rng rng(5);
+  for (uint64_t i = 0; i < num_tuples; ++i) {
+    uint8_t t[20] = {};
+    uint32_t key = uint32_t(rng.NextBounded(groups));
+    int64_t value = int64_t(rng.NextBounded(100));
+    std::memcpy(t, &key, 4);
+    std::memcpy(t + 4, &value, 8);
+    r.Append(t, sizeof(t), HashKey32(key));
+  }
+  return r;
+}
+
 const Relation& SharedFacts(uint64_t groups) {
   static auto* cache = new std::map<uint64_t, Relation>();
   auto it = cache->find(groups);
   if (it == cache->end()) {
-    Relation r(Schema({{"key", AttrType::kInt32, 4},
-                       {"value", AttrType::kInt64, 8},
-                       {"pad", AttrType::kFixedChar, 8}}));
-    Rng rng(5);
-    for (int i = 0; i < 4'000'000; ++i) {
-      uint8_t t[20] = {};
-      uint32_t key = uint32_t(rng.NextBounded(groups));
-      int64_t value = int64_t(rng.NextBounded(100));
-      std::memcpy(t, &key, 4);
-      std::memcpy(t + 4, &value, 8);
-      r.Append(t, sizeof(t), HashKey32(key));
-    }
-    it = cache->emplace(groups, std::move(r)).first;
+    it = cache->emplace(groups, MakeFacts(groups, 4'000'000)).first;
   }
   return it->second;
 }
@@ -88,7 +106,138 @@ BENCHMARK(BM_Agg_Swp)
     ->Args({1 << 22, 8})
     ->Unit(benchmark::kMillisecond);
 
+// Aggregation-loop stage costs: stage 0 hashes the key, stage 1 visits
+// the accumulator cell (the one dependent reference, k = 1).
+model::CodeCosts AggCodeCosts() {
+  sim::SimConfig def;
+  return model::CodeCosts{
+      {def.cost_hash, def.cost_visit_cell + def.cost_key_compare}};
+}
+
+int RunJsonHarness(const FlagParser& flags) {
+  const bool smoke = flags.GetBool("smoke", false);
+  const uint64_t num_facts = smoke ? 100'000 : 4'000'000;
+
+  perf::BenchReporter::Options opt;
+  opt.bench_name = "real_agg";
+  std::string path = flags.GetString("json", "");
+  if (!path.empty() && path != "true") opt.output_path = path;
+  opt.trials = int(flags.GetInt("trials", smoke ? 2 : 5));
+  opt.warmup = int(flags.GetInt("warmup", 1));
+  perf::BenchReporter reporter(std::move(opt));
+
+  uint32_t tuned_g = 19, tuned_d = 4;
+  if (flags.GetBool("auto-tune", false)) {
+    perf::CalibrationOptions copt;
+    if (smoke) {
+      copt.buffer_bytes = 4ull << 20;
+      copt.chase_steps = 200'000;
+    }
+    perf::CalibrationResult cal = perf::CalibrateMachine(copt);
+    reporter.SetCalibration(cal);
+    model::ParamChoice choice =
+        perf::TuneFromCalibration(cal, AggCodeCosts());
+    tuned_g = choice.group_size;
+    tuned_d = choice.prefetch_distance;
+    std::printf("auto-tune: T=%u Tnext=%u -> G=%u D=%u\n", cal.t_cycles,
+                cal.tnext_cycles, tuned_g, tuned_d);
+  }
+
+  std::vector<uint64_t> group_counts =
+      smoke ? std::vector<uint64_t>{1 << 10}
+            : std::vector<uint64_t>{1 << 14, 1 << 22};
+  RealMemory mm;
+  struct Mode {
+    const char* name;
+    int mode;
+    uint32_t param;
+  };
+
+  for (uint64_t groups : group_counts) {
+    const Relation facts = MakeFacts(groups, num_facts);
+    const Mode modes[] = {{"baseline", 0, 1},
+                          {"group", 1, tuned_g},
+                          {"swp", 2, tuned_d}};
+    for (const Mode& m : modes) {
+      std::unique_ptr<HashAggTable> agg;
+      uint64_t out_groups = 0;
+      JsonValue config = JsonValue::Object();
+      config.Set("phase", "aggregate");
+      config.Set("scheme", m.name);
+      config.Set("G", m.mode == 1 ? m.param : 1);
+      config.Set("D", m.mode == 2 ? m.param : 1);
+      config.Set("threads", 1);
+      config.Set("groups", groups);
+      config.Set("fact_tuples", facts.num_tuples());
+      JsonValue& rec = reporter.AddRecord(
+          std::string("agg/") + m.name + "/groups=" +
+              std::to_string(groups),
+          std::move(config),
+          /*body=*/
+          [&] {
+            switch (m.mode) {
+              case 0: AggregateBaseline(mm, facts, 4, agg.get()); break;
+              case 1: AggregateGroup(mm, facts, 4, agg.get(), m.param); break;
+              case 2: AggregateSwp(mm, facts, 4, agg.get(), m.param); break;
+            }
+            out_groups = agg->num_groups();
+          },
+          /*setup=*/
+          [&] {
+            agg = std::make_unique<HashAggTable>(
+                NextRelativelyPrime(groups, 31));
+          });
+      rec.Set("outputs", out_groups);
+      rec.Set("verified", out_groups <= groups && out_groups > 0);
+    }
+  }
+
+  Status st = reporter.Write();
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n",
+                 reporter.output_path().c_str(), st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, counters %s)\n",
+              reporter.output_path().c_str(),
+              reporter.doc().Find("records")->size(),
+              reporter.counters_available() ? "available" : "unavailable");
+  return 0;
+}
+
 }  // namespace
 }  // namespace hashjoin
 
-BENCHMARK_MAIN();
+// Custom main so the repo's harness flags coexist with
+// google-benchmark's: --json short-circuits into the JSON harness, and
+// the repo flags are stripped from argv before google-benchmark (which
+// rejects unknown flags) sees them.
+int main(int argc, char** argv) {
+  hashjoin::FlagParser flags;
+  flags.Parse(argc, argv);
+  if (flags.Has("json")) return hashjoin::RunJsonHarness(flags);
+
+  const char* repo_flags[] = {"--smoke", "--trials", "--warmup",
+                              "--auto-tune"};
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    bool ours = false;
+    for (const char* f : repo_flags) {
+      if (a.rfind(f, 0) == 0) {
+        if (a == f && i + 1 < argc && argv[i + 1][0] != '-') ++i;
+        ours = true;
+        break;
+      }
+    }
+    if (!ours) args.push_back(argv[i]);
+  }
+  int filtered_argc = int(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,8 +20,17 @@
 // write verification). raw vs clean is the checksum overhead; clean vs
 // faults is the retry/recovery overhead at that fault rate.
 
+// --json[=path] switches to the machine-readable harness: warm-up +
+// repeated trials per configuration, hardware counters when available
+// (see src/perf/), one BENCH_real_join.json record per configuration.
+// --smoke shrinks the workload to ctest size; --auto-tune calibrates
+// T/Tnext on this host and picks G and D from the paper's models
+// instead of the hard-coded KernelParams defaults.
+
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -29,8 +38,13 @@
 #include "join/grace.h"
 #include "join/grace_disk.h"
 #include "mem/memory_model.h"
+#include "model/cost_model.h"
+#include "perf/bench_reporter.h"
+#include "perf/calibrate.h"
+#include "simcache/sim_config.h"
 #include "storage/buffer_manager.h"
 #include "util/flags.h"
+#include "util/json_writer.h"
 #include "workload/generator.h"
 
 namespace hashjoin {
@@ -203,6 +217,235 @@ void DiskGraceJoinBench(benchmark::State& state, bool checksums,
   state.counters["verify_fixes"] = double(verify_fixes);
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable harness (--json): BenchReporter trials with hardware
+// counters, one record per (scheme, G, D, threads) configuration.
+
+namespace {
+
+// Per-stage code costs of the probe loop, taken from the simulator's
+// Table-2 instruction estimates. On real hardware these are approximate
+// —they parameterize Theorems 1 and 2, whose G/D output is insensitive
+// to small Ci errors (the curves are flat near the optimum, Fig. 12).
+model::CodeCosts ProbeCodeCosts() {
+  sim::SimConfig def;
+  return model::CodeCosts{{def.cost_hash + def.cost_slot_bookkeeping,
+                           def.cost_visit_header, def.cost_visit_cell,
+                           def.cost_key_compare +
+                               2 * def.cost_tuple_copy_per_line}};
+}
+
+JoinWorkload MakeWorkload(uint32_t tuple_size, uint64_t working_set_bytes) {
+  WorkloadSpec spec;
+  spec.tuple_size = tuple_size;
+  spec.num_build_tuples =
+      working_set_bytes /
+      (tuple_size + sizeof(BucketHeader) + sizeof(HashCell));
+  spec.matches_per_build = 2.0;
+  return GenerateJoinWorkload(spec);
+}
+
+int RunJsonHarness(const FlagParser& flags) {
+  const bool smoke = flags.GetBool("smoke", false);
+  const uint32_t tuple_size =
+      uint32_t(flags.GetInt("tuple-size", smoke ? 20 : 100));
+  const uint64_t working_set =
+      smoke ? (2ull << 20) : (48ull << 20);
+  const uint32_t threads =
+      uint32_t(flags.GetInt("threads", smoke ? 2 : 1));
+
+  perf::BenchReporter::Options opt;
+  opt.bench_name = "real_join";
+  std::string path = flags.GetString("json", "");
+  if (!path.empty() && path != "true") opt.output_path = path;
+  opt.trials = int(flags.GetInt("trials", smoke ? 2 : 5));
+  opt.warmup = int(flags.GetInt("warmup", 1));
+  perf::BenchReporter reporter(std::move(opt));
+
+  KernelParams tuned;  // paper defaults: G=19, D=1
+  if (flags.GetBool("auto-tune", false)) {
+    perf::CalibrationOptions copt;
+    if (smoke) {
+      copt.buffer_bytes = 4ull << 20;
+      copt.chase_steps = 200'000;
+    }
+    perf::CalibrationResult cal = perf::CalibrateMachine(copt);
+    reporter.SetCalibration(cal);
+    model::ParamChoice choice =
+        perf::TuneFromCalibration(cal, ProbeCodeCosts());
+    tuned.group_size = choice.group_size;
+    tuned.prefetch_distance = choice.prefetch_distance;
+    std::printf("auto-tune: T=%u Tnext=%u -> G=%u D=%u%s\n", cal.t_cycles,
+                cal.tnext_cycles, tuned.group_size,
+                tuned.prefetch_distance,
+                cal.used_counters ? "" : " (no cycle counter; ns-based)");
+  }
+
+  const JoinWorkload w = MakeWorkload(tuple_size, working_set);
+  RealMemory mm;
+
+  // --- join phase (build + probe), four schemes ---
+  for (Scheme scheme : {Scheme::kBaseline, Scheme::kSimple, Scheme::kGroup,
+                        Scheme::kSwp}) {
+    KernelParams params = tuned;
+    std::unique_ptr<HashTable> ht;
+    std::unique_ptr<Relation> out;
+    uint64_t outputs = 0;
+    bool ok = true;
+    JsonValue config = JsonValue::Object();
+    config.Set("phase", "join");
+    config.Set("scheme", SchemeName(scheme));
+    config.Set("G", params.group_size);
+    config.Set("D", params.prefetch_distance);
+    config.Set("threads", 1);
+    config.Set("tuple_size", tuple_size);
+    config.Set("build_tuples", w.build.num_tuples());
+    config.Set("probe_tuples", w.probe.num_tuples());
+    config.Set("working_set_bytes", working_set);
+    JsonValue& rec = reporter.AddRecord(
+        std::string("join/") + SchemeName(scheme), std::move(config),
+        /*body=*/
+        [&] {
+          BuildPartition(mm, scheme, w.build, ht.get(), params);
+          outputs = ProbePartition(mm, scheme, w.probe, *ht, tuple_size,
+                                   params, out.get());
+          ok &= outputs == w.expected_matches;
+        },
+        /*setup=*/
+        [&] {
+          ht = std::make_unique<HashTable>(
+              ChooseBucketCount(w.build.num_tuples(), 31));
+          out = std::make_unique<Relation>(
+              ConcatSchema(w.build.schema(), w.probe.schema()));
+        });
+    rec.Set("outputs", outputs);
+    rec.Set("verified", ok);
+  }
+
+  // --- full GRACE join on the morsel executor, 1..N threads ---
+  std::set<uint32_t> counts = {1u, std::max(1u, threads)};
+  for (uint32_t t : counts) {
+    GraceConfig config;
+    config.forced_num_partitions = 8;
+    config.num_threads = t;
+    config.join_params = tuned;
+    JoinResult result;
+    bool ok = true;
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("phase", "grace_full");
+    cfg.Set("scheme", SchemeName(config.join_scheme));
+    cfg.Set("G", tuned.group_size);
+    cfg.Set("D", tuned.prefetch_distance);
+    cfg.Set("threads", t);
+    cfg.Set("tuple_size", tuple_size);
+    cfg.Set("build_tuples", w.build.num_tuples());
+    cfg.Set("probe_tuples", w.probe.num_tuples());
+    JsonValue& rec = reporter.AddRecord(
+        "grace_full/threads=" + std::to_string(t), std::move(cfg), [&] {
+          result = GraceHashJoin(mm, w.build, w.probe, config, nullptr);
+          ok &= result.output_tuples == w.expected_matches;
+        });
+    rec.Set("outputs", result.output_tuples);
+    rec.Set("verified", ok);
+    JsonValue phases = JsonValue::Object();
+    phases.Set("partition_wall_seconds",
+               result.partition_phase.wall_seconds);
+    phases.Set("join_wall_seconds", result.join_phase.wall_seconds);
+    rec.Set("phases", std::move(phases));
+    // Real-memory runs have no sim breakdowns; per-thread stats appear
+    // here when the executor ran against the simulator (skew_bench).
+    rec.Set("per_thread_sim_threads",
+            uint64_t(result.per_thread_join_sim.size()));
+  }
+
+  // --- disk-backed join through the fault-tolerant I/O path ---
+  {
+    const double fault_rate = flags.GetDouble("fault-rate", 0.0);
+    const uint64_t fault_seed =
+        uint64_t(flags.GetInt("fault-seed", 0x5EED));
+    const JoinWorkload dw =
+        MakeWorkload(100, smoke ? (1ull << 20) : (8ull << 20));
+    struct DiskCase {
+      const char* name;
+      bool checksums;
+      double rate;
+    };
+    std::vector<DiskCase> cases = {{"raw", false, 0.0},
+                                   {"clean", true, 0.0}};
+    if (fault_rate > 0) cases.push_back({"faults", true, fault_rate});
+    for (const DiskCase& dc : cases) {
+      DiskJoinRecovery recovery;
+      uint64_t outputs = 0;
+      bool ok = true;
+      JsonValue cfg = JsonValue::Object();
+      cfg.Set("phase", "disk_grace");
+      cfg.Set("checksums", dc.checksums);
+      cfg.Set("fault_rate", dc.rate);
+      cfg.Set("fault_seed", fault_seed);
+      cfg.Set("tuple_size", 100);
+      cfg.Set("build_tuples", dw.build.num_tuples());
+      JsonValue& rec = reporter.AddRecord(
+          std::string("disk_grace/") + dc.name, std::move(cfg), [&] {
+            BufferManagerConfig bmc;
+            bmc.num_disks = 4;
+            bmc.disk.bandwidth_mb_per_s = 20000;
+            bmc.disk.request_latency_us = 0;
+            bmc.checksum_pages = dc.checksums;
+            bmc.disk.fault.read_error_rate = dc.rate;
+            bmc.disk.fault.write_error_rate = dc.rate;
+            bmc.disk.fault.torn_page_rate = dc.rate;
+            bmc.disk.fault.seed = fault_seed;
+            bmc.verify_writes = dc.rate > 0;
+            BufferManager bm(bmc);
+            DiskJoinConfig jc;
+            jc.num_partitions = 8;
+            jc.page_checksums = dc.checksums;
+            DiskGraceJoin join(&bm, jc);
+            auto b = join.StoreRelation(dw.build);
+            auto p = join.StoreRelation(dw.probe);
+            if (!b.ok() || !p.ok()) {
+              ok = false;
+              return;
+            }
+            auto r = join.Join(b.value(), p.value());
+            if (!r.ok()) {
+              ok = false;
+              return;
+            }
+            outputs = r.value().output_tuples;
+            ok &= outputs == dw.expected_matches;
+            recovery = r.value().recovery;
+          });
+      rec.Set("outputs", outputs);
+      rec.Set("verified", ok);
+      JsonValue io = JsonValue::Object();
+      io.Set("read_retries", recovery.read_retries);
+      io.Set("write_retries", recovery.write_retries);
+      io.Set("checksum_failures", recovery.checksum_failures);
+      io.Set("write_verify_failures", recovery.write_verify_failures);
+      io.Set("injected_faults", recovery.injected_faults);
+      io.Set("recursive_splits", recovery.recursive_splits);
+      io.Set("chunked_fallbacks", recovery.chunked_fallbacks);
+      io.Set("deepest_recursion", recovery.deepest_recursion);
+      rec.Set("io_recovery", std::move(io));
+    }
+  }
+
+  Status st = reporter.Write();
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n",
+                 reporter.output_path().c_str(), st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, counters %s)\n",
+              reporter.output_path().c_str(),
+              reporter.doc().Find("records")->size(),
+              reporter.counters_available() ? "available" : "unavailable");
+  return 0;
+}
+
+}  // namespace
+
 }  // namespace hashjoin
 
 // Custom main: the repo's flags (--threads, --fault-rate, --fault-seed)
@@ -211,6 +454,7 @@ void DiskGraceJoinBench(benchmark::State& state, bool checksums,
 int main(int argc, char** argv) {
   hashjoin::FlagParser flags;
   flags.Parse(argc, argv);
+  if (flags.Has("json")) return hashjoin::RunJsonHarness(flags);
   uint32_t threads = uint32_t(flags.GetInt("threads", 1));
   double fault_rate = flags.GetDouble("fault-rate", 0.0);
   uint64_t fault_seed = uint64_t(flags.GetInt("fault-seed", 0x5EED));

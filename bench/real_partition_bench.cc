@@ -11,16 +11,28 @@
 // pages with write verification). raw vs clean isolates the checksum
 // cost of the I/O partition pass; clean vs faults the recovery cost.
 
+// --json[=path] switches to the machine-readable harness (see
+// src/perf/bench_reporter.h): warm-up + trials per configuration with
+// hardware counters when available, written to
+// BENCH_real_partition.json. --smoke shrinks the input for ctest;
+// --auto-tune calibrates T/Tnext and picks G and D from the models.
+
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "join/grace_disk.h"
 #include "join/partition_kernels.h"
 #include "mem/memory_model.h"
+#include "model/cost_model.h"
+#include "perf/bench_reporter.h"
+#include "perf/calibrate.h"
+#include "simcache/sim_config.h"
 #include "storage/buffer_manager.h"
 #include "util/flags.h"
+#include "util/json_writer.h"
 #include "workload/generator.h"
 
 namespace hashjoin {
@@ -148,6 +160,117 @@ void DiskPartitionBench(benchmark::State& state, bool checksums,
   state.counters["retries"] = double(retries);
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable harness (--json): one record per (scheme, partitions).
+
+namespace {
+
+// Partition-loop stage costs from the simulator's Table-2 estimates:
+// stage 0 hashes and picks the destination, stage 1 touches the output
+// buffer tail (the one dependent reference, k = 1).
+model::CodeCosts PartitionCodeCosts() {
+  sim::SimConfig def;
+  return model::CodeCosts{
+      {def.cost_hash + def.cost_slot_bookkeeping,
+       2 * def.cost_tuple_copy_per_line}};
+}
+
+int RunJsonHarness(const FlagParser& flags) {
+  const bool smoke = flags.GetBool("smoke", false);
+  const uint64_t num_tuples = smoke ? 50'000 : 1'000'000;
+  const uint32_t tuple_size = 100;
+
+  perf::BenchReporter::Options opt;
+  opt.bench_name = "real_partition";
+  std::string path = flags.GetString("json", "");
+  if (!path.empty() && path != "true") opt.output_path = path;
+  opt.trials = int(flags.GetInt("trials", smoke ? 2 : 5));
+  opt.warmup = int(flags.GetInt("warmup", 1));
+  perf::BenchReporter reporter(std::move(opt));
+
+  KernelParams tuned;
+  tuned.group_size = 14;  // the paper's partition-loop optima
+  tuned.prefetch_distance = 4;
+  if (flags.GetBool("auto-tune", false)) {
+    perf::CalibrationOptions copt;
+    if (smoke) {
+      copt.buffer_bytes = 4ull << 20;
+      copt.chase_steps = 200'000;
+    }
+    perf::CalibrationResult cal = perf::CalibrateMachine(copt);
+    reporter.SetCalibration(cal);
+    model::ParamChoice choice =
+        perf::TuneFromCalibration(cal, PartitionCodeCosts());
+    tuned.group_size = choice.group_size;
+    tuned.prefetch_distance = choice.prefetch_distance;
+    std::printf("auto-tune: T=%u Tnext=%u -> G=%u D=%u\n", cal.t_cycles,
+                cal.tnext_cycles, tuned.group_size,
+                tuned.prefetch_distance);
+  }
+
+  const Relation input =
+      GenerateSourceRelation(num_tuples, tuple_size, 42);
+  RealMemory mm;
+  std::vector<uint32_t> part_counts =
+      smoke ? std::vector<uint32_t>{16} : std::vector<uint32_t>{64, 800};
+
+  for (uint32_t parts : part_counts) {
+    for (Scheme scheme : {Scheme::kBaseline, Scheme::kSimple,
+                          Scheme::kGroup, Scheme::kSwp}) {
+      std::vector<Relation> dests;
+      uint64_t total = 0;
+      bool ok = true;
+      JsonValue config = JsonValue::Object();
+      config.Set("phase", "partition");
+      config.Set("scheme", SchemeName(scheme));
+      config.Set("G", tuned.group_size);
+      config.Set("D", tuned.prefetch_distance);
+      config.Set("threads", 1);
+      config.Set("partitions", parts);
+      config.Set("tuple_size", tuple_size);
+      config.Set("input_tuples", input.num_tuples());
+      JsonValue& rec = reporter.AddRecord(
+          std::string("partition/") + SchemeName(scheme) +
+              "/parts=" + std::to_string(parts),
+          std::move(config),
+          /*body=*/
+          [&] {
+            {
+              PartitionSinkSet sinks(&dests, kDefaultPageSize);
+              PartitionRelation(mm, scheme, input, &sinks, parts, tuned);
+            }
+            total = 0;
+            for (auto& d : dests) total += d.num_tuples();
+            ok &= total == input.num_tuples();
+          },
+          /*setup=*/
+          [&] {
+            dests.clear();
+            dests.reserve(parts);
+            for (uint32_t p = 0; p < parts; ++p) {
+              dests.emplace_back(input.schema());
+            }
+          });
+      rec.Set("outputs", total);
+      rec.Set("verified", ok);
+    }
+  }
+
+  Status st = reporter.Write();
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n",
+                 reporter.output_path().c_str(), st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records, counters %s)\n",
+              reporter.output_path().c_str(),
+              reporter.doc().Find("records")->size(),
+              reporter.counters_available() ? "available" : "unavailable");
+  return 0;
+}
+
+}  // namespace
+
 }  // namespace hashjoin
 
 // Custom main (instead of BENCHMARK_MAIN) so the repo's fault flags can
@@ -155,6 +278,7 @@ void DiskPartitionBench(benchmark::State& state, bool checksums,
 int main(int argc, char** argv) {
   hashjoin::FlagParser flags;
   flags.Parse(argc, argv);
+  if (flags.Has("json")) return hashjoin::RunJsonHarness(flags);
   double fault_rate = flags.GetDouble("fault-rate", 0.0);
   uint64_t fault_seed = uint64_t(flags.GetInt("fault-seed", 0x5EED));
 

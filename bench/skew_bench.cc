@@ -6,9 +6,17 @@
 // skew rather than collapsing ("the algorithm can deal with any number
 // of delayed tuples", §4.4).
 
+// --json[=path] additionally writes BENCH_skew.json in the shared
+// harness schema (see src/perf/bench_reporter.h): one record per
+// (theta, scheme) with the full simulated stall breakdown, plus the
+// morsel-parallel record with per-thread sim stats. Simulated cycles
+// are deterministic, so the default is a single trial.
+
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.h"
+#include "perf/bench_reporter.h"
 
 using namespace hashjoin;
 using namespace hashjoin::bench;
@@ -20,6 +28,19 @@ int main(int argc, char** argv) {
   geo.scale = flags.GetDouble("scale", 0.05);
   sim::SimConfig cfg;
   uint64_t tuples = geo.BuildTuples(20);
+
+  std::unique_ptr<perf::BenchReporter> reporter;
+  if (flags.Has("json")) {
+    perf::BenchReporter::Options opt;
+    opt.bench_name = "skew";
+    std::string path = flags.GetString("json", "");
+    if (!path.empty() && path != "true") opt.output_path = path;
+    opt.trials = int(flags.GetInt("trials", 1));
+    opt.warmup = int(flags.GetInt("warmup", 0));
+    // The measured quantity is simulated cycles, not host time.
+    opt.collect_counters = false;
+    reporter = std::make_unique<perf::BenchReporter>(std::move(opt));
+  }
 
   std::printf("=== Build-phase skew tolerance (Zipf keys, %llu tuples) "
               "[scale=%.2f] ===\n\n",
@@ -38,13 +59,39 @@ int main(int argc, char** argv) {
     std::printf("%-10.2f", theta);
     for (Scheme s :
          {Scheme::kBaseline, Scheme::kGroup, Scheme::kSwp}) {
-      sim::MemorySim simulator(cfg);
-      SimMemory mm(&simulator);
-      HashTable ht(ChooseBucketCount(build.num_tuples(), 31));
-      BuildPartition(mm, s, build, &ht, params);
-      HJ_CHECK(ht.CountTuplesSlow() == build.num_tuples());
+      sim::SimStats stats;
+      uint64_t built = 0;
+      auto run_build = [&] {
+        sim::MemorySim simulator(cfg);
+        SimMemory mm(&simulator);
+        HashTable ht(ChooseBucketCount(build.num_tuples(), 31));
+        BuildPartition(mm, s, build, &ht, params);
+        built = ht.CountTuplesSlow();
+        HJ_CHECK(built == build.num_tuples());
+        stats = simulator.stats();
+      };
+      if (reporter) {
+        char theta_str[16];
+        std::snprintf(theta_str, sizeof(theta_str), "%.2f", theta);
+        JsonValue config = JsonValue::Object();
+        config.Set("phase", "build");
+        config.Set("scheme", SchemeName(s));
+        config.Set("G", params.group_size);
+        config.Set("D", params.prefetch_distance);
+        config.Set("threads", 1);
+        config.Set("theta", theta);
+        config.Set("build_tuples", build.num_tuples());
+        JsonValue& rec = reporter->AddRecord(
+            std::string("build/") + SchemeName(s) + "/theta=" + theta_str,
+            std::move(config), run_build);
+        rec.Set("outputs", built);
+        rec.Set("verified", built == build.num_tuples());
+        rec.Set("sim", SimStatsToJson(stats));
+      } else {
+        run_build();
+      }
       std::printf(" %14llu",
-                  (unsigned long long)simulator.stats().TotalCycles());
+                  (unsigned long long)stats.TotalCycles());
     }
     std::printf("\n");
   }
@@ -87,5 +134,47 @@ int main(int argc, char** argv) {
       "\nexpected: no thread's total dwarfs the rest (largest-first "
       "morsels bound the tail), and per-thread cycles sum to the merged "
       "join-phase window\n");
+
+  if (reporter) {
+    JsonValue rec = JsonValue::Object();
+    rec.Set("name", "grace_morsel/theta=0.99");
+    JsonValue config = JsonValue::Object();
+    config.Set("phase", "grace_full");
+    config.Set("scheme", SchemeName(GraceConfig{}.join_scheme));
+    config.Set("G", params.group_size);
+    config.Set("D", params.prefetch_distance);
+    config.Set("threads", threads);
+    config.Set("theta", 0.99);
+    config.Set("build_tuples", build.num_tuples());
+    config.Set("probe_tuples", probe.num_tuples());
+    rec.Set("config", std::move(config));
+    rec.Set("trials", 1);
+    rec.Set("warmup", 0);
+    JsonValue wall = JsonValue::Object();
+    wall.Set("median", r.join_phase.wall_seconds);
+    wall.Set("min", r.join_phase.wall_seconds);
+    wall.Set("mean", r.join_phase.wall_seconds);
+    rec.Set("wall_seconds", std::move(wall));
+    rec.Set("counters", JsonValue());
+    rec.Set("counters_unavailable", "simulated run (cycles are exact)");
+    rec.Set("outputs", r.output_tuples);
+    rec.Set("sim", SimStatsToJson(r.join_phase.sim));
+    JsonValue per_thread = JsonValue::Array();
+    for (const auto& t : r.per_thread_join_sim) {
+      per_thread.Append(SimStatsToJson(t));
+    }
+    rec.Set("per_thread_sim", std::move(per_thread));
+    reporter->AddRawRecord(std::move(rec));
+
+    Status st = reporter->Write();
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n",
+                   reporter->output_path().c_str(), st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu records)\n",
+                reporter->output_path().c_str(),
+                reporter->doc().Find("records")->size());
+  }
   return 0;
 }

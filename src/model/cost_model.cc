@@ -148,6 +148,34 @@ uint64_t SwpPrefetchModel::CriticalPathCycles(const CodeCosts& costs,
   return t;
 }
 
+ParamChoice ChooseParams(const CodeCosts& costs, const MachineParams& machine,
+                         uint32_t fallback_group, uint32_t fallback_distance,
+                         uint32_t max_group, uint32_t max_distance) {
+  ParamChoice choice;
+  uint32_t g =
+      GroupPrefetchModel::MinGroupSize(costs, machine, max_group);
+  choice.group_feasible = g != 0;
+  if (g == 0) {
+    HJ_LOG(Warning) << "Theorem 1 has no feasible group size <= "
+                    << max_group << " for T=" << machine.full_latency
+                    << " (C0=" << costs.c[0]
+                    << "); falling back to G=" << fallback_group;
+    g = fallback_group;
+  }
+  uint32_t d =
+      SwpPrefetchModel::MinDistance(costs, machine, max_distance);
+  choice.swp_feasible = d != 0;
+  if (d == 0) {
+    HJ_LOG(Warning) << "Theorem 2 has no feasible prefetch distance <= "
+                    << max_distance << " for T=" << machine.full_latency
+                    << "; falling back to D=" << fallback_distance;
+    d = fallback_distance;
+  }
+  choice.group_size = g;
+  choice.prefetch_distance = d;
+  return choice;
+}
+
 uint64_t BaselineCycles(const CodeCosts& costs, const MachineParams& machine,
                         uint64_t num_elements) {
   uint64_t per = 0;

@@ -61,8 +61,16 @@ class SwpPrefetchModel {
                              const MachineParams& machine,
                              uint32_t distance);
 
-  /// Smallest D satisfying Theorem 2 (always exists; §5.1). The smallest
-  /// feasible D minimizes concurrent prefetches, like G above.
+  /// Smallest D satisfying Theorem 2, or 0 if none <= max_distance
+  /// exists. §5.1 argues a feasible D "always exists" because the
+  /// left-hand side grows without bound in D — true mathematically, but
+  /// the implementation caps the search (a D beyond max_distance needs a
+  /// state array larger than the cache and is useless in practice), and
+  /// degenerate inputs (Tnext = 0 with zero stage costs) have no
+  /// feasible D at all. Callers configuring a kernel MUST handle the 0
+  /// sentinel — use ChooseParams() for a clamped, warning-logging
+  /// selection. The smallest feasible D minimizes concurrent prefetches,
+  /// like G above.
   static uint32_t MinDistance(const CodeCosts& costs,
                               const MachineParams& machine,
                               uint32_t max_distance = 4096);
@@ -84,6 +92,28 @@ class SwpPrefetchModel {
 /// (Figure 3(c)): every one of the k references stalls for T.
 uint64_t BaselineCycles(const CodeCosts& costs, const MachineParams& machine,
                         uint64_t num_elements);
+
+/// A feasibility-checked (G, D) selection. `*_feasible` records whether
+/// Theorem 1 / Theorem 2 had a solution within the search caps; when
+/// not, the corresponding parameter is the caller-supplied fallback.
+struct ParamChoice {
+  uint32_t group_size = 0;
+  uint32_t prefetch_distance = 0;
+  bool group_feasible = false;
+  bool swp_feasible = false;
+};
+
+/// Picks the minimum feasible G and D for (costs, machine), resolving
+/// the 0 "infeasible" sentinels of MinGroupSize/MinDistance to the given
+/// fallbacks (with a logged warning). This is the one call site allowed
+/// to turn model output directly into KernelParams: G=0 would make the
+/// group kernels process empty groups and D=0 would collapse the
+/// software pipeline to a zero-length state array.
+ParamChoice ChooseParams(const CodeCosts& costs, const MachineParams& machine,
+                         uint32_t fallback_group = 19,
+                         uint32_t fallback_distance = 1,
+                         uint32_t max_group = 4096,
+                         uint32_t max_distance = 4096);
 
 }  // namespace model
 }  // namespace hashjoin

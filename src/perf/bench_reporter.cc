@@ -1,0 +1,172 @@
+#include "perf/bench_reporter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace hashjoin {
+namespace perf {
+
+namespace {
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+std::optional<uint64_t> MedianCounter(
+    const std::vector<std::optional<uint64_t>>& per_trial) {
+  std::vector<double> present;
+  for (const auto& v : per_trial) {
+    if (v.has_value()) present.push_back(double(*v));
+  }
+  if (present.empty()) return std::nullopt;
+  return uint64_t(Median(std::move(present)));
+}
+
+}  // namespace
+
+BenchReporter::BenchReporter(Options options)
+    : options_(std::move(options)) {
+  HJ_CHECK(!options_.bench_name.empty()) << "bench_name is required";
+  HJ_CHECK(options_.trials >= 1);
+  output_path_ = options_.output_path.empty()
+                     ? "BENCH_" + options_.bench_name + ".json"
+                     : options_.output_path;
+  doc_ = JsonValue::Object();
+  doc_.Set("bench", options_.bench_name);
+  doc_.Set("schema_version", 1);
+  JsonValue host = JsonValue::Object();
+  host.Set("nproc", uint64_t(std::thread::hardware_concurrency()));
+#if defined(__x86_64__)
+  host.Set("arch", "x86_64");
+#elif defined(__aarch64__)
+  host.Set("arch", "aarch64");
+#else
+  host.Set("arch", "unknown");
+#endif
+  host.Set("perf_event_paranoid", int64_t(PerfCounters::ParanoidLevel()));
+  bool avail = options_.collect_counters && counters_.available();
+  host.Set("counters_available", avail);
+  if (!avail) {
+    host.Set("counters_unavailable_reason",
+             options_.collect_counters ? counters_.unavailable_reason()
+                                       : "disabled by caller");
+  }
+  doc_.Set("host", std::move(host));
+  doc_.Set("calibration", JsonValue());
+  doc_.Set("records", JsonValue::Array());
+}
+
+bool BenchReporter::counters_available() const {
+  return options_.collect_counters && counters_.available();
+}
+
+void BenchReporter::SetCalibration(const CalibrationResult& calibration) {
+  doc_.Set("calibration", calibration.ToJson());
+}
+
+JsonValue& BenchReporter::AddRecord(const std::string& name,
+                                    JsonValue config,
+                                    const std::function<void()>& body,
+                                    const std::function<void()>& setup) {
+  for (int w = 0; w < options_.warmup; ++w) {
+    if (setup) setup();
+    body();
+  }
+
+  std::vector<double> wall;
+  wall.reserve(size_t(options_.trials));
+  const char* counter_names[] = {"cycles",      "instructions",
+                                 "l1d_misses",  "llc_misses",
+                                 "dtlb_misses", "branch_misses"};
+  std::vector<std::vector<std::optional<uint64_t>>> counter_trials(6);
+  bool any_scaled = false;
+  double min_running_fraction = 1.0;
+  const bool use_counters = counters_available();
+
+  for (int t = 0; t < options_.trials; ++t) {
+    if (setup) setup();
+    WallTimer timer;
+    if (use_counters) counters_.Start();
+    body();
+    if (use_counters) counters_.Stop();
+    wall.push_back(timer.ElapsedSeconds());
+    if (use_counters) {
+      const CounterValues& v = counters_.values();
+      const std::optional<uint64_t>* slots[] = {
+          &v.cycles,      &v.instructions, &v.l1d_misses,
+          &v.llc_misses,  &v.dtlb_misses,  &v.branch_misses};
+      for (int i = 0; i < 6; ++i) counter_trials[i].push_back(*slots[i]);
+      any_scaled |= v.scaled;
+      min_running_fraction =
+          std::min(min_running_fraction, v.running_fraction);
+    }
+  }
+
+  JsonValue record = JsonValue::Object();
+  record.Set("name", name);
+  record.Set("config", std::move(config));
+  record.Set("trials", int64_t(options_.trials));
+  record.Set("warmup", int64_t(options_.warmup));
+
+  JsonValue wall_obj = JsonValue::Object();
+  wall_obj.Set("median", Median(wall));
+  wall_obj.Set("min", *std::min_element(wall.begin(), wall.end()));
+  double mean = 0;
+  for (double s : wall) mean += s;
+  wall_obj.Set("mean", mean / double(wall.size()));
+  JsonValue all = JsonValue::Array();
+  for (double s : wall) all.Append(s);
+  wall_obj.Set("all", std::move(all));
+  record.Set("wall_seconds", std::move(wall_obj));
+
+  if (use_counters) {
+    JsonValue c = JsonValue::Object();
+    bool any_present = false;
+    for (int i = 0; i < 6; ++i) {
+      auto median = MedianCounter(counter_trials[i]);
+      any_present |= median.has_value();
+      c.Set(counter_names[i],
+            median.has_value() ? JsonValue(*median) : JsonValue());
+    }
+    if (any_present) {
+      const JsonValue* cyc = c.Find("cycles");
+      const JsonValue* ins = c.Find("instructions");
+      if (cyc != nullptr && ins != nullptr && !cyc->is_null() &&
+          !ins->is_null() && cyc->AsInt() > 0) {
+        c.Set("ipc", double(ins->AsInt()) / double(cyc->AsInt()));
+      }
+      c.Set("scaled", any_scaled);
+      c.Set("running_fraction", min_running_fraction);
+      record.Set("counters", std::move(c));
+    } else {
+      record.Set("counters", JsonValue());
+      record.Set("counters_unavailable",
+                 "counter group never scheduled on a PMU");
+    }
+  } else {
+    record.Set("counters", JsonValue());
+    record.Set("counters_unavailable",
+               options_.collect_counters ? counters_.unavailable_reason()
+                                         : "disabled by caller");
+  }
+
+  return AddRawRecord(std::move(record));
+}
+
+JsonValue& BenchReporter::AddRawRecord(JsonValue record) {
+  JsonValue* records = doc_.FindMutable("records");
+  HJ_CHECK(records != nullptr);
+  return records->Append(std::move(record));
+}
+
+Status BenchReporter::Write() const { return WriteJsonFile(output_path_, doc_); }
+
+}  // namespace perf
+}  // namespace hashjoin

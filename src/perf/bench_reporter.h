@@ -1,0 +1,96 @@
+#ifndef HASHJOIN_PERF_BENCH_REPORTER_H_
+#define HASHJOIN_PERF_BENCH_REPORTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "perf/calibrate.h"
+#include "perf/perf_counters.h"
+#include "util/json_writer.h"
+#include "util/status.h"
+
+namespace hashjoin {
+namespace perf {
+
+/// Runs warm-up + repeated trials of a measured region and accumulates
+/// one machine-readable JSON record per configuration, written as
+/// `BENCH_<bench>.json`. All benches — real-hardware and simulator —
+/// share the schema, so tools/bench_diff can compare any two runs:
+///
+///   {
+///     "bench": "real_join",
+///     "schema_version": 1,
+///     "host": { "nproc": ..., "perf_event_paranoid": ...,
+///               "counters_available": bool, ... },
+///     "calibration": { ... } | null,      // --auto-tune only
+///     "records": [ {
+///        "name": "probe/group",           // unique per record
+///        "config": { "scheme": ..., "G": ..., "D": ..., ... },
+///        "trials": N,
+///        "warmup": W,
+///        "wall_seconds": { "median": s, "min": s, "mean": s,
+///                          "all": [ ... ] },
+///        "counters": { "cycles": ..., ... } | null,
+///        "counters_unavailable": "reason"  // only when counters==null
+///        ... bench-specific extras (sim stats, outputs, io_recovery)
+///     } ]
+///   }
+///
+/// Counter readings are per-trial; the reported value of each counter is
+/// the median across trials (robust to one preempted trial). Counters
+/// that never opened are null inside "counters"; if no counter opened at
+/// all, "counters" itself is null and "counters_unavailable" explains
+/// why — consumers must treat the two cases differently from zero.
+class BenchReporter {
+ public:
+  struct Options {
+    std::string bench_name;
+    std::string output_path;  // default: BENCH_<bench_name>.json
+    int warmup = 1;
+    int trials = 5;
+    bool collect_counters = true;
+  };
+
+  explicit BenchReporter(Options options);
+
+  /// Whether hardware counters are live for this reporter.
+  bool counters_available() const;
+
+  /// Attaches the machine-calibration block (--auto-tune runs).
+  void SetCalibration(const CalibrationResult& calibration);
+
+  /// Measures one configuration: `setup` (optional, untimed) runs before
+  /// every warm-up and trial; `body` is the timed+counted region. The
+  /// returned reference points at the record just appended — callers add
+  /// bench-specific fields (outputs, sim stats) to it. `config` becomes
+  /// the record's "config" member.
+  JsonValue& AddRecord(const std::string& name, JsonValue config,
+                       const std::function<void()>& body,
+                       const std::function<void()>& setup = nullptr);
+
+  /// Appends a caller-built record verbatim (for measurements the
+  /// trial harness cannot wrap, e.g. per-thread executor phases).
+  JsonValue& AddRawRecord(JsonValue record);
+
+  /// The document built so far.
+  const JsonValue& doc() const { return doc_; }
+
+  /// Writes the document to options.output_path.
+  Status Write() const;
+
+  /// output path actually in use.
+  const std::string& output_path() const { return output_path_; }
+
+ private:
+  Options options_;
+  std::string output_path_;
+  PerfCounters counters_;
+  JsonValue doc_;
+};
+
+}  // namespace perf
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_PERF_BENCH_REPORTER_H_

@@ -1,0 +1,153 @@
+#include "perf/calibrate.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "perf/perf_counters.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace hashjoin {
+namespace perf {
+
+JsonValue CalibrationResult::ToJson() const {
+  JsonValue o = JsonValue::Object();
+  o.Set("used_counters", used_counters);
+  o.Set("cpu_ghz", cpu_ghz);
+  o.Set("load_latency_ns", load_latency_ns);
+  o.Set("line_gap_ns", line_gap_ns);
+  o.Set("t_cycles", t_cycles);
+  o.Set("tnext_cycles", tnext_cycles);
+  o.Set("buffer_bytes", buffer_bytes);
+  return o;
+}
+
+namespace {
+
+constexpr size_t kLineBytes = 64;
+
+// One cache-line-sized chase node: the next-pointer is the only live
+// word, so every step is one full cache line fetch with no spatial reuse.
+struct alignas(kLineBytes) ChaseNode {
+  ChaseNode* next;
+  uint8_t pad[kLineBytes - sizeof(ChaseNode*)];
+};
+
+// Measurement window: wall nanoseconds plus (optionally) PMU cycles.
+struct Window {
+  double ns = 0;
+  double cycles = 0;  // 0 when counters were unavailable
+};
+
+template <typename Fn>
+Window TimeBestOf(PerfCounters* counters, int repeats, Fn&& fn) {
+  Window best;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer timer;
+    if (counters != nullptr) counters->Start();
+    fn();
+    if (counters != nullptr) counters->Stop();
+    double ns = double(timer.ElapsedNanos());
+    if (r == 0 || ns < best.ns) {
+      best.ns = ns;
+      best.cycles = 0;
+      if (counters != nullptr && counters->values().cycles.has_value()) {
+        best.cycles = double(*counters->values().cycles);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+CalibrationResult CalibrateMachine(const CalibrationOptions& options) {
+  CalibrationResult result;
+  const uint64_t num_nodes =
+      std::max<uint64_t>(options.buffer_bytes / sizeof(ChaseNode), 16);
+  result.buffer_bytes = num_nodes * sizeof(ChaseNode);
+
+  // Sattolo's algorithm: a single cycle through all nodes, so the chase
+  // visits every line exactly once per lap with no short cycles.
+  std::vector<ChaseNode> nodes(num_nodes);
+  std::vector<uint64_t> order(num_nodes);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(0xCA11B8);
+  for (uint64_t i = num_nodes - 1; i > 0; --i) {
+    uint64_t j = rng.NextBounded(i);  // j in [0, i)
+    std::swap(order[i], order[j]);
+  }
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    nodes[order[i]].next = &nodes[order[(i + 1) % num_nodes]];
+  }
+
+  PerfCounters counters;
+  PerfCounters* pmu = counters.available() ? &counters : nullptr;
+
+  // --- T: dependent-load chase ---
+  ChaseNode* cursor = &nodes[order[0]];
+  const uint64_t steps = std::max<uint64_t>(options.chase_steps, 1024);
+  ChaseNode* sink = nullptr;
+  Window chase = TimeBestOf(pmu, 3, [&] {
+    ChaseNode* p = cursor;
+    for (uint64_t i = 0; i < steps; ++i) p = p->next;
+    sink = p;
+  });
+  // Defeat dead-code elimination of the chase.
+  if (sink == nullptr) HJ_LOG(Fatal) << "chase lost its cursor";
+  cursor = sink;
+
+  result.load_latency_ns = chase.ns / double(steps);
+  if (chase.cycles > 0) {
+    result.used_counters = true;
+    result.cpu_ghz = chase.cycles / chase.ns;  // cycles per ns == GHz
+    result.t_cycles = uint32_t(chase.cycles / double(steps) + 0.5);
+  } else {
+    result.cpu_ghz = options.fallback_ghz;
+    result.t_cycles =
+        uint32_t(result.load_latency_ns * result.cpu_ghz + 0.5);
+  }
+
+  // --- Tnext: sequential bandwidth sweep over the same buffer ---
+  const uint64_t lines = num_nodes * (sizeof(ChaseNode) / kLineBytes);
+  uint64_t checksum = 0;
+  Window stream = TimeBestOf(pmu, int(std::max<uint64_t>(
+                                      options.stream_passes, 1)),
+                             [&] {
+    const uint64_t* words =
+        reinterpret_cast<const uint64_t*>(nodes.data());
+    const uint64_t num_words =
+        num_nodes * (sizeof(ChaseNode) / sizeof(uint64_t));
+    uint64_t acc = 0;
+    for (uint64_t w = 0; w < num_words; w += 8) acc += words[w];
+    checksum += acc;
+  });
+  if (checksum == uint64_t(-1)) HJ_LOG(Info) << "";  // keep `acc` live
+
+  result.line_gap_ns = stream.ns / double(lines);
+  if (stream.cycles > 0) {
+    result.tnext_cycles =
+        std::max<uint32_t>(1, uint32_t(stream.cycles / double(lines) + 0.5));
+  } else {
+    result.tnext_cycles = std::max<uint32_t>(
+        1, uint32_t(result.line_gap_ns * result.cpu_ghz + 0.5));
+  }
+  // A dependent miss can never be cheaper than a pipelined one.
+  if (result.t_cycles < result.tnext_cycles) {
+    result.t_cycles = result.tnext_cycles;
+  }
+  if (result.t_cycles == 0) result.t_cycles = 1;
+  return result;
+}
+
+model::ParamChoice TuneFromCalibration(const CalibrationResult& calibration,
+                                       const model::CodeCosts& costs) {
+  return model::ChooseParams(costs, calibration.ToMachineParams(),
+                             /*fallback_group=*/19,
+                             /*fallback_distance=*/1);
+}
+
+}  // namespace perf
+}  // namespace hashjoin

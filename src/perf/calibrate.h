@@ -1,0 +1,65 @@
+#ifndef HASHJOIN_PERF_CALIBRATE_H_
+#define HASHJOIN_PERF_CALIBRATE_H_
+
+#include <cstdint>
+
+#include "model/cost_model.h"
+#include "util/json_writer.h"
+
+namespace hashjoin {
+namespace perf {
+
+/// Host memory-system parameters measured by CalibrateMachine(): the
+/// paper's T (full dependent-miss latency) and Tnext (pipelined-miss
+/// gap, the inverse of memory bandwidth), expressed both in nanoseconds
+/// (what the clock measures) and in cycles (what model::MachineParams
+/// consumes).
+struct CalibrationResult {
+  bool used_counters = false;  // cycle counts from the PMU, not the TSC guess
+  double cpu_ghz = 0;          // effective frequency during the chase
+  double load_latency_ns = 0;  // dependent-load pointer chase, per load
+  double line_gap_ns = 0;      // streaming read, per 64B cache line
+  uint32_t t_cycles = 0;       // T  = load_latency_ns * cpu_ghz
+  uint32_t tnext_cycles = 0;   // Tnext = line_gap_ns * cpu_ghz
+  uint64_t buffer_bytes = 0;   // working-set size the chase ran over
+
+  model::MachineParams ToMachineParams() const {
+    return model::MachineParams{t_cycles, tnext_cycles};
+  }
+
+  JsonValue ToJson() const;
+};
+
+/// Options for CalibrateMachine. The defaults walk a 64MB working set —
+/// far beyond any LLC, so the chase measures DRAM latency; shrink
+/// `buffer_bytes` in tests for speed (the numbers then reflect cache
+/// latency, which is fine for exercising the pipeline).
+struct CalibrationOptions {
+  uint64_t buffer_bytes = 64ull << 20;
+  uint64_t chase_steps = 2'000'000;   // dependent loads to time
+  uint64_t stream_passes = 4;         // sequential sweeps to time
+  /// Used to convert ns to cycles when no cycle counter is available
+  /// (the PMU measures the true frequency when it is).
+  double fallback_ghz = 3.0;
+};
+
+/// Measures T with a random-permutation pointer chase (each load's
+/// address depends on the previous load — the paper's "dependent miss")
+/// and Tnext with a hardware-prefetcher-friendly sequential sweep
+/// (bandwidth-bound, so time per line is the pipelined gap). Cycle
+/// conversion uses the PMU cycle counter when available, else
+/// `fallback_ghz`. Deterministic for a fixed seed; wall-clock noise is
+/// bounded by taking the fastest of 3 timing windows.
+CalibrationResult CalibrateMachine(const CalibrationOptions& options = {});
+
+/// The measured-machine → kernel-parameter pipeline: calibration output
+/// plus per-stage code costs go through Theorems 1 and 2
+/// (model::ChooseParams), with the 0 "infeasible" sentinels clamped to
+/// the paper's T=150 optima (G=19, D=1) and a warning logged.
+model::ParamChoice TuneFromCalibration(const CalibrationResult& calibration,
+                                       const model::CodeCosts& costs);
+
+}  // namespace perf
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_PERF_CALIBRATE_H_

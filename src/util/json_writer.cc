@@ -1,0 +1,415 @@
+#include "util/json_writer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+namespace hashjoin {
+
+JsonValue& JsonValue::Append(JsonValue v) {
+  type_ = Type::kArray;
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
+  type_ = Type::kObject;
+  for (auto& m : members_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return m.second;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindPath(const std::string& dotted_path) const {
+  const JsonValue* cur = this;
+  size_t start = 0;
+  while (cur != nullptr) {
+    size_t dot = dotted_path.find('.', start);
+    std::string key = dotted_path.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    cur = cur->Find(key);
+    if (dot == std::string::npos) return cur;
+    start = dot + 1;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no Inf/NaN; null is the convention
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+  // Keep a marker so the value parses back as a double, not an int.
+  if (std::string_view(buf).find_first_of(".eE") == std::string_view::npos) {
+    *out += ".0";
+  }
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  *out += '\n';
+  out->append(size_t(indent) * size_t(depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kInt: *out += std::to_string(int_); break;
+    case Type::kDouble: AppendDouble(out, double_); break;
+    case Type::kString:
+      *out += '"';
+      *out += Escape(string_);
+      *out += '"';
+      break;
+    case Type::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) *out += ',';
+        Newline(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) Newline(out, indent, depth);
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      *out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) *out += ',';
+        Newline(out, indent, depth + 1);
+        *out += '"';
+        *out += Escape(members_[i].first);
+        *out += "\":";
+        if (indent > 0) *out += ' ';
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!members_.empty()) Newline(out, indent, depth);
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: a small recursive-descent JSON reader. Accepts exactly RFC 8259
+// documents (no comments, no trailing commas); \uXXXX escapes are decoded
+// to UTF-8 (surrogate pairs included).
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  StatusOr<JsonValue> Run() {
+    SkipWs();
+    JsonValue v;
+    HJ_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != s_.size()) return Err("trailing characters after document");
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) {
+    return Status::InvalidArgument("json parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Err(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > 128) return Err("nesting too deep");
+    if (pos_ >= s_.size()) return Err("unexpected end of input");
+    char c = s_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        std::string str;
+        HJ_RETURN_IF_ERROR(ParseString(&str));
+        *out = JsonValue(std::move(str));
+        return Status::OK();
+      }
+      case 't':
+        if (s_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          *out = JsonValue(true);
+          return Status::OK();
+        }
+        return Err("bad literal");
+      case 'f':
+        if (s_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          *out = JsonValue(false);
+          return Status::OK();
+        }
+        return Err("bad literal");
+      case 'n':
+        if (s_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          *out = JsonValue();
+          return Status::OK();
+        }
+        return Err("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    HJ_RETURN_IF_ERROR(Expect('{'));
+    *out = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      HJ_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      HJ_RETURN_IF_ERROR(Expect(':'));
+      SkipWs();
+      JsonValue v;
+      HJ_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      out->Set(key, std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      return Expect('}');
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    HJ_RETURN_IF_ERROR(Expect('['));
+    *out = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWs();
+      JsonValue v;
+      HJ_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      out->Append(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      return Expect(']');
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > s_.size()) return Err("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = s_[pos_ + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= uint32_t(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= uint32_t(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= uint32_t(c - 'A' + 10);
+      else return Err("bad \\u escape");
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      *out += char(cp);
+    } else if (cp < 0x800) {
+      *out += char(0xC0 | (cp >> 6));
+      *out += char(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += char(0xE0 | (cp >> 12));
+      *out += char(0x80 | ((cp >> 6) & 0x3F));
+      *out += char(0x80 | (cp & 0x3F));
+    } else {
+      *out += char(0xF0 | (cp >> 18));
+      *out += char(0x80 | ((cp >> 12) & 0x3F));
+      *out += char(0x80 | ((cp >> 6) & 0x3F));
+      *out += char(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    HJ_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (true) {
+      if (pos_ >= s_.size()) return Err("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        if (uint8_t(c) < 0x20) return Err("raw control character in string");
+        *out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return Err("truncated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          uint32_t cp = 0;
+          HJ_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (pos_ + 1 < s_.size() && s_[pos_] == '\\' &&
+                s_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              uint32_t lo = 0;
+              HJ_RETURN_IF_ERROR(ParseHex4(&lo));
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return Err("bad low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              return Err("lone high surrogate");
+            }
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Err("bad escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < s_.size() && std::isdigit(uint8_t(s_[pos_]))) ++pos_;
+    bool is_double = false;
+    if (Consume('.')) {
+      is_double = true;
+      while (pos_ < s_.size() && std::isdigit(uint8_t(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && std::isdigit(uint8_t(s_[pos_]))) ++pos_;
+    }
+    std::string num = s_.substr(start, pos_ - start);
+    if (num.empty() || num == "-") return Err("bad number");
+    if (is_double) {
+      *out = JsonValue(std::strtod(num.c_str(), nullptr));
+    } else {
+      errno = 0;
+      int64_t v = std::strtoll(num.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        *out = JsonValue(std::strtod(num.c_str(), nullptr));
+      } else {
+        *out = JsonValue(v);
+      }
+    }
+    return Status::OK();
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+Status WriteJsonFile(const std::string& path, const JsonValue& v) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  f << v.Dump(2) << "\n";
+  f.close();
+  if (!f) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<JsonValue> ReadJsonFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return JsonValue::Parse(buf.str());
+}
+
+}  // namespace hashjoin

@@ -1,0 +1,116 @@
+#ifndef HASHJOIN_UTIL_JSON_WRITER_H_
+#define HASHJOIN_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hashjoin {
+
+/// Minimal JSON document model used by the bench harness: the
+/// `BenchReporter` serializes one `BENCH_<bench>.json` per run, and
+/// `tools/bench_diff` parses two of them back to compare. Objects keep
+/// insertion order so emitted files stay diffable; numbers distinguish
+/// integers (exact 64-bit counters) from doubles (seconds, ratios).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  JsonValue(int v) : type_(Type::kInt), int_(v) {}     // NOLINT
+  JsonValue(int64_t v) : type_(Type::kInt), int_(v) {}  // NOLINT
+  JsonValue(uint32_t v) : type_(Type::kInt), int_(int64_t(v)) {}  // NOLINT
+  JsonValue(uint64_t v) : type_(Type::kInt), int_(int64_t(v)) {}  // NOLINT
+  JsonValue(double v) : type_(Type::kDouble), double_(v) {}  // NOLINT
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return type_ == Type::kDouble ? int64_t(double_) : int_;
+  }
+  double AsDouble() const {
+    return type_ == Type::kInt ? double(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  // --- array ---
+  JsonValue& Append(JsonValue v);
+  size_t size() const {
+    return type_ == Type::kArray ? array_.size() : members_.size();
+  }
+  const JsonValue& at(size_t i) const { return array_[i]; }
+  JsonValue& at(size_t i) { return array_[i]; }
+  const std::vector<JsonValue>& items() const { return array_; }
+
+  // --- object (insertion-ordered; Set replaces an existing key) ---
+  JsonValue& Set(const std::string& key, JsonValue v);
+  /// Member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+  JsonValue* FindMutable(const std::string& key) {
+    return const_cast<JsonValue*>(
+        static_cast<const JsonValue*>(this)->Find(key));
+  }
+  /// Dotted-path lookup through nested objects ("wall_seconds.median").
+  const JsonValue* FindPath(const std::string& dotted_path) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Serializes with 2-space indentation per level (indent 0 = compact).
+  std::string Dump(int indent = 2) const;
+
+  /// Parses a complete JSON document; trailing garbage is an error.
+  static StatusOr<JsonValue> Parse(const std::string& text);
+
+  /// Escapes `s` as the contents of a JSON string literal (no quotes).
+  static std::string Escape(const std::string& s);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Writes `v.Dump()` to `path` atomically enough for bench output (write
+/// then rename would be overkill; this truncates and writes).
+Status WriteJsonFile(const std::string& path, const JsonValue& v);
+
+/// Reads and parses a JSON file.
+StatusOr<JsonValue> ReadJsonFile(const std::string& path);
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_UTIL_JSON_WRITER_H_

@@ -1,0 +1,238 @@
+// Compares two BENCH_*.json files produced by the src/perf harness and
+// flags regressions, or validates one file against the schema:
+//
+//   bench_diff [--threshold=0.10] [--metric=wall_seconds.median] OLD NEW
+//   bench_diff --check FILE [FILE...]
+//
+// Records are matched by their unique "name". A record regresses when
+// NEW metric > OLD metric * (1 + threshold); the exit code is 1 when any
+// record regresses (or, with --check, when any file fails validation),
+// so CI can gate on it. Counter metrics work too, e.g.
+// --metric=counters.llc_misses — records where either side lacks the
+// metric (counters unavailable) are reported and skipped, not failed:
+// a bench run on a counter-less CI host must not mask wall-time
+// regressions seen elsewhere.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/json_writer.h"
+
+namespace hashjoin {
+namespace {
+
+// --- schema validation (--check) ---
+
+bool CheckRecord(const JsonValue& rec, size_t index,
+                 std::vector<std::string>* errors) {
+  auto err = [&](const std::string& what) {
+    errors->push_back("records[" + std::to_string(index) + "]: " + what);
+    return false;
+  };
+  if (!rec.is_object()) return err("not an object");
+  const JsonValue* name = rec.Find("name");
+  if (name == nullptr || !name->is_string() || name->AsString().empty()) {
+    return err("missing non-empty \"name\"");
+  }
+  const JsonValue* config = rec.Find("config");
+  if (config == nullptr || !config->is_object()) {
+    return err("missing \"config\" object");
+  }
+  const JsonValue* trials = rec.Find("trials");
+  if (trials == nullptr || !trials->is_number() || trials->AsInt() < 1) {
+    return err("missing \"trials\" >= 1");
+  }
+  const JsonValue* median = rec.FindPath("wall_seconds.median");
+  if (median == nullptr || !median->is_number()) {
+    return err("missing numeric \"wall_seconds.median\"");
+  }
+  const JsonValue* counters = rec.Find("counters");
+  if (counters == nullptr) {
+    return err("missing \"counters\" (object, or null with "
+               "\"counters_unavailable\")");
+  }
+  if (counters->is_null()) {
+    const JsonValue* why = rec.Find("counters_unavailable");
+    if (why == nullptr || !why->is_string() || why->AsString().empty()) {
+      return err("null \"counters\" without a \"counters_unavailable\" "
+                 "reason");
+    }
+  } else if (!counters->is_object()) {
+    return err("\"counters\" must be an object or null");
+  }
+  return true;
+}
+
+int CheckFile(const std::string& path) {
+  auto doc = ReadJsonFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> errors;
+  const JsonValue& root = doc.value();
+  if (!root.is_object()) errors.push_back("top level is not an object");
+  const JsonValue* bench = root.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->AsString().empty()) {
+    errors.push_back("missing non-empty \"bench\"");
+  }
+  const JsonValue* host = root.Find("host");
+  if (host == nullptr || !host->is_object() ||
+      host->Find("counters_available") == nullptr) {
+    errors.push_back("missing \"host\" with \"counters_available\"");
+  }
+  const JsonValue* records = root.Find("records");
+  if (records == nullptr || !records->is_array() || records->size() == 0) {
+    errors.push_back("missing non-empty \"records\" array");
+  } else {
+    for (size_t i = 0; i < records->size(); ++i) {
+      CheckRecord(records->at(i), i, &errors);
+    }
+  }
+  if (errors.empty()) {
+    std::printf("%s: OK (%zu records)\n", path.c_str(),
+                records != nullptr ? records->size() : 0);
+    return 0;
+  }
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.c_str());
+  }
+  return 1;
+}
+
+// --- regression comparison ---
+
+const JsonValue* FindRecord(const JsonValue& records,
+                            const std::string& name) {
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonValue* n = records.at(i).Find("name");
+    if (n != nullptr && n->is_string() && n->AsString() == name) {
+      return &records.at(i);
+    }
+  }
+  return nullptr;
+}
+
+int Compare(const std::string& old_path, const std::string& new_path,
+            const std::string& metric, double threshold) {
+  auto old_doc = ReadJsonFile(old_path);
+  auto new_doc = ReadJsonFile(new_path);
+  if (!old_doc.ok() || !new_doc.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!old_doc.ok() ? old_doc.status() : new_doc.status())
+                     .ToString()
+                     .c_str());
+    return 2;
+  }
+  const JsonValue* old_records = old_doc.value().Find("records");
+  const JsonValue* new_records = new_doc.value().Find("records");
+  if (old_records == nullptr || new_records == nullptr) {
+    std::fprintf(stderr, "both files need a \"records\" array "
+                         "(run bench_diff --check first)\n");
+    return 2;
+  }
+
+  std::printf("%-40s %14s %14s %9s\n", "record", "old", "new", "delta");
+  int regressions = 0, improvements = 0, skipped = 0;
+  for (size_t i = 0; i < new_records->size(); ++i) {
+    const JsonValue& nr = new_records->at(i);
+    const JsonValue* name = nr.Find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    const JsonValue* old_rec = FindRecord(*old_records, name->AsString());
+    if (old_rec == nullptr) {
+      std::printf("%-40s %14s %14s %9s\n", name->AsString().c_str(), "-",
+                  "present", "new");
+      continue;
+    }
+    const JsonValue* ov = old_rec->FindPath(metric);
+    const JsonValue* nv = nr.FindPath(metric);
+    if (ov == nullptr || nv == nullptr || ov->is_null() || nv->is_null() ||
+        !ov->is_number() || !nv->is_number()) {
+      std::printf("%-40s %14s %14s %9s\n", name->AsString().c_str(), "?",
+                  "?", "no data");
+      ++skipped;
+      continue;
+    }
+    double o = ov->AsDouble(), n = nv->AsDouble();
+    double delta = o == 0 ? 0 : (n - o) / o;
+    const char* mark = "";
+    if (n > o * (1.0 + threshold)) {
+      mark = "  << REGRESSION";
+      ++regressions;
+    } else if (n < o * (1.0 - threshold)) {
+      mark = "  (improved)";
+      ++improvements;
+    }
+    std::printf("%-40s %14.6g %14.6g %+8.1f%%%s\n",
+                name->AsString().c_str(), o, n, 100.0 * delta, mark);
+  }
+  for (size_t i = 0; i < old_records->size(); ++i) {
+    const JsonValue* n = old_records->at(i).Find("name");
+    if (n != nullptr && n->is_string() &&
+        FindRecord(*new_records, n->AsString()) == nullptr) {
+      std::printf("%-40s %14s %14s %9s\n", n->AsString().c_str(),
+                  "present", "-", "removed");
+    }
+  }
+  std::printf("\nmetric=%s threshold=%.1f%%: %d regression(s), "
+              "%d improvement(s), %d without data\n",
+              metric.c_str(), 100.0 * threshold, regressions, improvements,
+              skipped);
+  return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace hashjoin
+
+int main(int argc, char** argv) {
+  hashjoin::FlagParser flags;
+  flags.Parse(argc, argv);
+
+  // Positional arguments: everything neither a --flag nor consumed as a
+  // flag's space-separated value (mirrors FlagParser::Parse).
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      if (a.find('=') == std::string::npos && i + 1 < argc &&
+          argv[i + 1][0] != '-') {
+        ++i;  // value consumed by the flag
+      }
+      continue;
+    }
+    positional.push_back(a);
+  }
+
+  if (flags.Has("check")) {
+    // Both `--check FILE` (FILE lands in the flag value) and
+    // `--check=FILE` and `--check FILE1 FILE2 ...` work.
+    std::string inline_file = flags.GetString("check", "");
+    if (!inline_file.empty() && inline_file != "true") {
+      positional.insert(positional.begin(), inline_file);
+    }
+    if (positional.empty()) {
+      std::fprintf(stderr, "usage: bench_diff --check FILE [FILE...]\n");
+      return 2;
+    }
+    int rc = 0;
+    for (const std::string& f : positional) {
+      rc |= hashjoin::CheckFile(f);
+    }
+    return rc;
+  }
+
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--threshold=0.10] "
+                 "[--metric=wall_seconds.median] OLD NEW\n"
+                 "       bench_diff --check FILE [FILE...]\n");
+    return 2;
+  }
+  return hashjoin::Compare(positional[0], positional[1],
+                           flags.GetString("metric", "wall_seconds.median"),
+                           flags.GetDouble("threshold", 0.10));
+}
