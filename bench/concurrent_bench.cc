@@ -1,0 +1,399 @@
+// Multi-query join service under memory pressure: N simultaneous
+// disk-backed GRACE joins admitted through the JoinScheduler, sharing
+// one work-stealing pool and one MemoryBroker whose budget is smaller
+// than the queries' combined working sets. The big high-priority query
+// acquires the whole budget first; the others' admission minima force
+// broker revokes, so it demonstrably spills mid-join (revoke_spills),
+// then un-spills as finishing queries release their grants. An overload
+// burst past the admission queue shows backpressure as clean
+// kResourceExhausted rejections.
+//
+// Per-query outcomes (wall time, queue latency, grant history, spill
+// and I/O-recovery counters) print as a table; --json[=path] writes
+// BENCH_concurrent.json in the shared harness schema — one record per
+// query plus a "service" aggregate with tail latencies. The bench-smoke
+// fixture gates on `bench_diff --check --require=...` so the promised
+// metrics (revoke_spills, queue tail latency) cannot silently drop out
+// of the schema.
+//
+//   concurrent_bench --queries=8 --mem-budget=BYTES [--smoke] [--json]
+//                    [--max-concurrent=4] [--pool-threads=4]
+//                    [--base-tuples=20000] [--overload=N]
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hash/hash_table.h"
+#include "join/grace_disk.h"
+#include "perf/bench_reporter.h"
+#include "sched/join_scheduler.h"
+#include "storage/buffer_manager.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "workload/generator.h"
+
+using namespace hashjoin;
+
+namespace {
+
+constexpr uint32_t kTupleSize = 20;
+constexpr uint64_t kKiB = 1024;
+
+struct QuerySpec {
+  std::string name;
+  int priority = 0;
+  uint64_t min_grant = 0;
+  uint64_t desired_grant = 0;
+  uint32_t num_partitions = 8;
+  std::unique_ptr<JoinWorkload> workload;  // Relation is move-only
+  double seq_seconds = 0;  // sequential (unthrottled) baseline
+};
+
+DiskConfig BenchDisk(bool smoke) {
+  DiskConfig cfg;
+  if (smoke) {
+    cfg.bandwidth_mb_per_s = 20000;
+    cfg.request_latency_us = 0;
+  }
+  return cfg;
+}
+
+BufferManagerConfig BenchDisks(bool smoke) {
+  BufferManagerConfig cfg;
+  cfg.num_disks = 2;
+  cfg.disk = BenchDisk(smoke);
+  return cfg;
+}
+
+/// One query's body: its own disk array (scans are single-user), the
+/// live grant wired into both the join's sizing decisions and the
+/// scanner's read-ahead window, recovery counters diffed into stats.
+StatusOr<uint64_t> RunQuery(QueryContext& ctx, const QuerySpec& spec,
+                            bool smoke) {
+  BufferManager bm(BenchDisks(smoke));
+  bm.SetReadAheadBudget(ctx.GrantFn());
+
+  DiskJoinConfig cfg;
+  cfg.num_partitions = spec.num_partitions;
+  cfg.dynamic_budget = ctx.GrantFn();
+  cfg.initial_grant_bytes = ctx.grant().initial_bytes();
+  DiskGraceJoin join(&bm, cfg);
+  HJ_ASSIGN_OR_RETURN(auto build, join.StoreRelation(spec.workload->build));
+  HJ_ASSIGN_OR_RETURN(auto probe, join.StoreRelation(spec.workload->probe));
+  HJ_ASSIGN_OR_RETURN(DiskJoinResult r, join.Join(build, probe));
+
+  ctx.stats().recovery = r.recovery;
+  ctx.stats().io = bm.recovery_stats();
+  ctx.stats().readahead_throttles = bm.readahead_throttles();
+  return r.output_tuples;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = size_t(p * double(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+JsonValue WallObject(double seconds) {
+  JsonValue wall = JsonValue::Object();
+  wall.Set("median", seconds);
+  wall.Set("min", seconds);
+  wall.Set("mean", seconds);
+  return wall;
+}
+
+void FinishRawRecord(JsonValue* rec) {
+  rec->Set("trials", 1);
+  rec->Set("warmup", 0);
+  rec->Set("counters", JsonValue());
+  rec->Set("counters_unavailable",
+           "per-query wall time is measured by the service, not the "
+           "trial harness");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Parse(argc, argv);
+  const bool smoke = flags.Has("smoke");
+  const int num_queries = int(flags.GetInt("queries", 8));
+  const uint64_t base_tuples =
+      uint64_t(flags.GetInt("base-tuples", smoke ? 3000 : 20000));
+
+  // The big query's per-partition build footprint sets the memory scale:
+  // a budget of 1.2x that footprint means the query fits while it holds
+  // its full grant, and a single concurrent revoke (another query's
+  // 0.4-budget minimum) pushes it below the footprint — so its next
+  // sizing decision spills, tallied as a revoke_spill.
+  const uint64_t big_tuples = 4 * base_tuples;
+  const uint32_t big_partitions = 4;
+  const uint64_t part_tuples = big_tuples / big_partitions;
+  const uint64_t part_pages = (part_tuples * (kTupleSize + 6)) / (8 * kKiB) + 1;
+  const uint64_t part_need =
+      part_pages * 8 * kKiB + HashTable::EstimateBytes(part_tuples);
+  const uint64_t mem_budget =
+      uint64_t(flags.GetInt("mem-budget", int64_t(part_need * 6 / 5)));
+
+  SchedulerConfig sched_cfg;
+  sched_cfg.max_concurrent = uint32_t(flags.GetInt("max-concurrent", 4));
+  sched_cfg.pool_threads = uint32_t(flags.GetInt("pool-threads", 4));
+  sched_cfg.max_queue = uint32_t(flags.GetInt(
+      "max-queue", int64_t(std::max(1, num_queries))));
+  sched_cfg.memory_budget = mem_budget;
+
+  // --- workloads: one big high-priority query plus mixed-size rest ---
+  std::vector<QuerySpec> specs;
+  uint64_t combined_working_set = 0;
+  for (int q = 0; q < num_queries; ++q) {
+    QuerySpec spec;
+    spec.name = "q" + std::to_string(q);
+    WorkloadSpec w;
+    w.tuple_size = kTupleSize;
+    w.seed = uint64_t(100 + q);
+    if (q == 0) {
+      w.num_build_tuples = big_tuples;
+      spec.priority = 10;  // starts first, holds the whole budget
+      spec.num_partitions = big_partitions;
+      spec.min_grant = mem_budget / 16;
+      spec.desired_grant = mem_budget;
+    } else {
+      w.num_build_tuples = base_tuples * uint64_t(1 + q % 3);
+      spec.min_grant = mem_budget * 2 / 5;
+      spec.desired_grant = mem_budget / 2;
+    }
+    spec.workload = std::make_unique<JoinWorkload>(GenerateJoinWorkload(w));
+    combined_working_set +=
+        w.num_build_tuples * kTupleSize +
+        HashTable::EstimateBytes(w.num_build_tuples);
+    specs.push_back(std::move(spec));
+  }
+
+  std::printf("=== Concurrent join service: %d queries, budget %.1f KiB "
+              "(combined working sets %.1f KiB) ===\n\n",
+              num_queries, double(mem_budget) / 1024.0,
+              double(combined_working_set) / 1024.0);
+
+  // --- sequential baseline: each join alone, unlimited memory ---
+  for (QuerySpec& spec : specs) {
+    BufferManager bm(BenchDisks(smoke));
+    DiskGraceJoin join(&bm, DiskJoinConfig{});
+    WallTimer timer;
+    auto build = join.StoreRelation(spec.workload->build);
+    auto probe = join.StoreRelation(spec.workload->probe);
+    HJ_CHECK(build.ok() && probe.ok());
+    auto r = join.Join(build.value(), probe.value());
+    HJ_CHECK(r.ok()) << r.status().ToString();
+    HJ_CHECK(r.value().output_tuples == spec.workload->expected_matches)
+        << spec.name << " sequential run produced the wrong count";
+    spec.seq_seconds = timer.ElapsedSeconds();
+  }
+
+  // --- concurrent run through the scheduler ---
+  JoinScheduler sched(sched_cfg);
+  for (const QuerySpec& spec : specs) {
+    JoinRequest req;
+    req.name = spec.name;
+    req.priority = spec.priority;
+    req.min_grant_bytes = spec.min_grant;
+    req.desired_grant_bytes = spec.desired_grant;
+    req.body = [&spec, smoke](QueryContext& ctx) {
+      return RunQuery(ctx, spec, smoke);
+    };
+    auto id = sched.Submit(std::move(req));
+    HJ_CHECK(id.ok()) << "real query rejected: " << id.status().ToString();
+  }
+
+  // Overload burst: more submissions than the queue can hold while the
+  // runners are busy. Rejections come back as kResourceExhausted
+  // Status — the backpressure contract — and the accepted ones are
+  // trivial bodies that drain quickly.
+  const int overload = int(flags.GetInt("overload", 2 * num_queries));
+  int overload_accepted = 0, overload_rejected = 0;
+  for (int i = 0; i < overload; ++i) {
+    JoinRequest req;
+    req.name = "overload" + std::to_string(i);
+    req.min_grant_bytes = 4 * kKiB;
+    req.desired_grant_bytes = 4 * kKiB;
+    req.body = [](QueryContext&) -> StatusOr<uint64_t> {
+      return uint64_t(0);
+    };
+    auto id = sched.Submit(std::move(req));
+    if (id.ok()) {
+      ++overload_accepted;
+    } else {
+      HJ_CHECK(id.status().code() == StatusCode::kResourceExhausted)
+          << id.status().ToString();
+      ++overload_rejected;
+    }
+  }
+
+  ServiceStats stats = sched.Drain();
+
+  // --- per-query table + verification ---
+  std::printf("%-10s %-8s %9s %9s %12s %9s %7s %7s %7s %9s\n", "query",
+              "status", "queue_s", "run_s", "output", "seq_s", "grant0",
+              "grantL", "revokes", "rv_spills");
+  uint64_t total_revoke_spills = 0, total_unspills = 0, bad_counts = 0;
+  std::vector<double> run_seconds, queue_seconds;
+  for (const QueryStats& qs : stats.queries) {
+    const QuerySpec* spec = nullptr;
+    for (const QuerySpec& s : specs) {
+      if (s.name == qs.name) spec = &s;
+    }
+    if (spec == nullptr) continue;  // overload filler
+    bool correct =
+        qs.status.ok() && qs.output_tuples == spec->workload->expected_matches;
+    if (!correct) ++bad_counts;
+    total_revoke_spills += qs.recovery.revoke_spills;
+    total_unspills += qs.recovery.regrant_unspills;
+    run_seconds.push_back(qs.run_seconds);
+    queue_seconds.push_back(qs.queue_seconds);
+    std::printf("%-10s %-8s %9.4f %9.4f %12llu %9.4f %6lluK %6lluK %7llu "
+                "%9llu%s\n",
+                qs.name.c_str(), qs.status.ok() ? "ok" : "FAILED",
+                qs.queue_seconds, qs.run_seconds,
+                (unsigned long long)qs.output_tuples, spec->seq_seconds,
+                (unsigned long long)(qs.grant_initial_bytes / 1024),
+                (unsigned long long)(qs.grant_low_bytes / 1024),
+                (unsigned long long)qs.grant_revokes,
+                (unsigned long long)qs.recovery.revoke_spills,
+                correct ? "" : "  << WRONG COUNT");
+  }
+  std::printf("\nservice: %llu submitted, %llu rejected, %llu completed, "
+              "%llu failed; makespan %.4fs\n",
+              (unsigned long long)stats.submitted,
+              (unsigned long long)stats.rejected,
+              (unsigned long long)stats.completed,
+              (unsigned long long)stats.failed, stats.makespan_seconds);
+  std::printf("memory: %llu broker revokes, %llu re-grows; %llu "
+              "revoke-forced spills, %llu re-grant un-spills\n",
+              (unsigned long long)sched.broker().total_revokes(),
+              (unsigned long long)sched.broker().total_regrows(),
+              (unsigned long long)total_revoke_spills,
+              (unsigned long long)total_unspills);
+  std::printf("overload burst: %d accepted, %d rejected (backpressure)\n",
+              overload_accepted, overload_rejected);
+  std::printf("latency: run p50=%.4fs p95=%.4fs max=%.4fs; queue "
+              "p50=%.4fs p95=%.4fs max=%.4fs\n",
+              Percentile(run_seconds, 0.5), Percentile(run_seconds, 0.95),
+              Percentile(run_seconds, 1.0), Percentile(queue_seconds, 0.5),
+              Percentile(queue_seconds, 0.95),
+              Percentile(queue_seconds, 1.0));
+
+  bool service_ok = bad_counts == 0 && stats.failed == 0;
+  if (total_revoke_spills == 0) {
+    std::printf("WARNING: no revoke-forced spill observed — raise "
+                "--queries or lower --mem-budget\n");
+  }
+  if (!service_ok) {
+    std::printf("FAILURE: %llu queries wrong or failed\n",
+                (unsigned long long)bad_counts);
+  }
+
+  // --- JSON ---
+  if (flags.Has("json")) {
+    perf::BenchReporter::Options opt;
+    opt.bench_name = "concurrent";
+    std::string path = flags.GetString("json", "");
+    if (!path.empty() && path != "true") opt.output_path = path;
+    opt.trials = 1;
+    opt.warmup = 0;
+    // Wall times come from the service, not the trial harness.
+    opt.collect_counters = false;
+    perf::BenchReporter reporter(std::move(opt));
+
+    for (const QueryStats& qs : stats.queries) {
+      const QuerySpec* spec = nullptr;
+      for (const QuerySpec& s : specs) {
+        if (s.name == qs.name) spec = &s;
+      }
+      if (spec == nullptr) continue;
+      JsonValue rec = JsonValue::Object();
+      rec.Set("name", "query/" + qs.name);
+      JsonValue config = JsonValue::Object();
+      config.Set("build_tuples", spec->workload->build.num_tuples());
+      config.Set("probe_tuples", spec->workload->probe.num_tuples());
+      config.Set("tuple_size", kTupleSize);
+      config.Set("priority", qs.priority);
+      config.Set("min_grant_bytes", spec->min_grant);
+      config.Set("desired_grant_bytes", spec->desired_grant);
+      config.Set("num_partitions", spec->num_partitions);
+      rec.Set("config", std::move(config));
+      rec.Set("wall_seconds", WallObject(qs.run_seconds));
+      FinishRawRecord(&rec);
+      rec.Set("status", qs.status.ok() ? "ok" : qs.status.ToString());
+      rec.Set("queue_seconds", qs.queue_seconds);
+      rec.Set("sequential_seconds", spec->seq_seconds);
+      rec.Set("outputs", qs.output_tuples);
+      rec.Set("verified",
+              qs.output_tuples == spec->workload->expected_matches);
+      JsonValue grant = JsonValue::Object();
+      grant.Set("initial_bytes", qs.grant_initial_bytes);
+      grant.Set("low_bytes", qs.grant_low_bytes);
+      grant.Set("final_bytes", qs.grant_final_bytes);
+      grant.Set("revokes", qs.grant_revokes);
+      grant.Set("regrows", qs.grant_regrows);
+      rec.Set("grant", std::move(grant));
+      JsonValue recovery = JsonValue::Object();
+      recovery.Set("revoke_spills", qs.recovery.revoke_spills);
+      recovery.Set("regrant_unspills", qs.recovery.regrant_unspills);
+      recovery.Set("recursive_splits", qs.recovery.recursive_splits);
+      recovery.Set("chunked_fallbacks", qs.recovery.chunked_fallbacks);
+      rec.Set("recovery", std::move(recovery));
+      JsonValue io = JsonValue::Object();
+      io.Set("read_retries", qs.io.read_retries);
+      io.Set("write_retries", qs.io.write_retries);
+      io.Set("injected_faults", qs.io.injected_faults);
+      rec.Set("io_recovery", std::move(io));
+      rec.Set("readahead_throttles", qs.readahead_throttles);
+      reporter.AddRawRecord(std::move(rec));
+    }
+
+    JsonValue rec = JsonValue::Object();
+    rec.Set("name", "service");
+    JsonValue config = JsonValue::Object();
+    config.Set("queries", num_queries);
+    config.Set("mem_budget", mem_budget);
+    config.Set("max_concurrent", sched_cfg.max_concurrent);
+    config.Set("pool_threads", sched_cfg.pool_threads);
+    config.Set("max_queue", sched_cfg.max_queue);
+    config.Set("overload", overload);
+    rec.Set("config", std::move(config));
+    rec.Set("wall_seconds", WallObject(stats.makespan_seconds));
+    FinishRawRecord(&rec);
+    rec.Set("submitted", stats.submitted);
+    rec.Set("rejected", stats.rejected);
+    rec.Set("completed", stats.completed);
+    rec.Set("failed", stats.failed);
+    rec.Set("revoke_spills", total_revoke_spills);
+    rec.Set("regrant_unspills", total_unspills);
+    rec.Set("broker_revokes", sched.broker().total_revokes());
+    rec.Set("broker_regrows", sched.broker().total_regrows());
+    rec.Set("verified", service_ok);
+    JsonValue tail = JsonValue::Object();
+    tail.Set("run_p50", Percentile(run_seconds, 0.5));
+    tail.Set("run_p95", Percentile(run_seconds, 0.95));
+    tail.Set("run_max", Percentile(run_seconds, 1.0));
+    tail.Set("queue_p50", Percentile(queue_seconds, 0.5));
+    tail.Set("queue_p95", Percentile(queue_seconds, 0.95));
+    tail.Set("queue_max", Percentile(queue_seconds, 1.0));
+    rec.Set("tail_latency", std::move(tail));
+    reporter.AddRawRecord(std::move(rec));
+
+    Status st = reporter.Write();
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n",
+                   reporter.output_path().c_str(), st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu records)\n", reporter.output_path().c_str(),
+                reporter.doc().Find("records")->size());
+  }
+  return service_ok ? 0 : 1;
+}

@@ -106,14 +106,6 @@ BENCHMARK(BM_Agg_Swp)
     ->Args({1 << 22, 8})
     ->Unit(benchmark::kMillisecond);
 
-// Aggregation-loop stage costs: stage 0 hashes the key, stage 1 visits
-// the accumulator cell (the one dependent reference, k = 1).
-model::CodeCosts AggCodeCosts() {
-  sim::SimConfig def;
-  return model::CodeCosts{
-      {def.cost_hash, def.cost_visit_cell + def.cost_key_compare}};
-}
-
 int RunJsonHarness(const FlagParser& flags) {
   const bool smoke = flags.GetBool("smoke", false);
   const uint64_t num_facts = smoke ? 100'000 : 4'000'000;
@@ -136,7 +128,7 @@ int RunJsonHarness(const FlagParser& flags) {
     perf::CalibrationResult cal = perf::CalibrateMachine(copt);
     reporter.SetCalibration(cal);
     model::ParamChoice choice =
-        perf::TuneFromCalibration(cal, AggCodeCosts());
+        perf::TuneFromCalibration(cal, AggregateCodeCosts());
     tuned_g = choice.group_size;
     tuned_d = choice.prefetch_distance;
     std::printf("auto-tune: T=%u Tnext=%u -> G=%u D=%u\n", cal.t_cycles,

@@ -236,6 +236,16 @@ GraceJoinOperator::GraceJoinOperator(std::unique_ptr<Operator> build_child,
   HJ_CHECK(batch_size_ >= 1);
 }
 
+void GraceJoinOperator::BindQueryContext(QueryContext* ctx) {
+  if (ctx == nullptr) {
+    config_.executor = nullptr;
+    config_.dynamic_budget = nullptr;
+    return;
+  }
+  config_.executor = &ctx->executor();
+  config_.dynamic_budget = ctx->GrantFn();
+}
+
 Status GraceJoinOperator::Open() {
   HJ_RETURN_IF_ERROR(build_child_->Open());
   HJ_RETURN_IF_ERROR(probe_child_->Open());
@@ -287,7 +297,8 @@ bool GraceJoinOperator::Next(RowBatch* out) {
 AggregateOperator::AggregateOperator(std::unique_ptr<Operator> child,
                                      uint32_t value_offset,
                                      uint32_t group_size,
-                                     uint32_t batch_size)
+                                     uint32_t batch_size,
+                                     const model::MachineParams& machine)
     : child_(std::move(child)),
       value_offset_(value_offset),
       group_size_(group_size),
@@ -295,7 +306,14 @@ AggregateOperator::AggregateOperator(std::unique_ptr<Operator> child,
       output_schema_({{"key", AttrType::kInt32, 4},
                       {"count", AttrType::kInt64, 8},
                       {"sum", AttrType::kInt64, 8}}),
-      results_(output_schema_) {}
+      results_(output_schema_) {
+  if (group_size_ == 0) {
+    // ChooseParams resolves an infeasible Theorem-1 condition to its
+    // fallback (19, the paper's tuned value), so this is always > 0.
+    group_size_ =
+        model::ChooseParams(AggregateCodeCosts(), machine).group_size;
+  }
+}
 
 Status AggregateOperator::Open() {
   HJ_RETURN_IF_ERROR(child_->Open());

@@ -9,6 +9,8 @@
 #include "join/aggregate_kernels.h"
 #include "join/grace.h"
 #include "join/join_common.h"
+#include "model/cost_model.h"
+#include "sched/query_context.h"
 #include "storage/relation.h"
 
 namespace hashjoin {
@@ -128,6 +130,14 @@ class GraceJoinOperator : public Operator {
   bool Next(RowBatch* out) override;
   const Schema& output_schema() const override { return output_schema_; }
 
+  /// Runs this operator as one query of a join service: the morsels go
+  /// through `ctx`'s fair-share handle on the scheduler's shared pool
+  /// (instead of a private pool), and partition sizing follows the
+  /// query's live memory grant — a broker revoke mid-join makes the
+  /// next sizing decision spill more partitions. Call before Open();
+  /// `ctx` must outlive the operator. Passing nullptr unbinds.
+  void BindQueryContext(QueryContext* ctx);
+
   uint64_t rows_joined() const { return result_.output_tuples; }
   const JoinResult& join_result() const { return result_; }
 
@@ -150,8 +160,16 @@ class GraceJoinOperator : public Operator {
 /// of schema (key:int32, count:int64, sum:int64).
 class AggregateOperator : public Operator {
  public:
+  /// `group_size` 0 (the default) derives the prefetch group size from
+  /// the cost model: model::ChooseParams over AggregateCodeCosts() and
+  /// `machine` — pass a calibrated MachineParams
+  /// (perf::CalibrationResult::ToMachineParams()) when one is available;
+  /// the default-constructed Table-1 parameters otherwise. A non-zero
+  /// `group_size` forces that size, bypassing the model.
   AggregateOperator(std::unique_ptr<Operator> child, uint32_t value_offset,
-                    uint32_t group_size = 19, uint32_t batch_size = 64);
+                    uint32_t group_size = 0, uint32_t batch_size = 64,
+                    const model::MachineParams& machine =
+                        model::MachineParams{});
 
   Status Open() override;
   bool Next(RowBatch* out) override;

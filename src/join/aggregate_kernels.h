@@ -9,11 +9,25 @@
 #include "hash/hash_func.h"
 #include "hash/hash_table.h"
 #include "join/join_common.h"
+#include "model/cost_model.h"
+#include "simcache/sim_config.h"
 #include "storage/relation.h"
 #include "util/bitops.h"
 #include "util/logging.h"
 
 namespace hashjoin {
+
+/// Aggregation-loop stage costs for the generalized prefetching models:
+/// stage 0 hashes the key, stage 1 visits the accumulator cell (the one
+/// dependent reference, k = 1). The canonical cost vector for tuning the
+/// aggregation kernels' group size / prefetch distance with
+/// model::ChooseParams — shared by AggregateOperator's auto-tune path
+/// and the real_agg bench.
+inline model::CodeCosts AggregateCodeCosts() {
+  sim::SimConfig def;
+  return model::CodeCosts{
+      {def.cost_hash, def.cost_visit_cell + def.cost_key_compare}};
+}
 
 /// Hash-based group-by aggregation accelerated with the paper's
 /// prefetching techniques — the extension the conclusions call out

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <numeric>
 #include <vector>
@@ -68,7 +69,29 @@ struct GraceConfig {
   /// the end. Prefetch-scheme correctness is unaffected: each worker
   /// runs the unchanged single-threaded kernels on disjoint data.
   uint32_t num_threads = 1;
+
+  /// Shared executor: one fair-share group of a pool the join service
+  /// shares across all admitted queries. When set it takes precedence
+  /// over `num_threads` (its worker count sizes per-worker state) and no
+  /// per-invocation pool is created. Must outlive the join call.
+  PoolExecutor* executor = nullptr;
+
+  /// Live memory budget (bytes) supplied by a scheduler's memory-broker
+  /// grant. When set and returning non-zero it overrides
+  /// `memory_budget` at sizing time, so an admitted query partitioned
+  /// under the grant it actually holds rather than a static default.
+  std::function<uint64_t()> dynamic_budget;
 };
+
+/// The budget sizing decisions should honor right now: the broker grant
+/// when one is wired in, the static configuration otherwise.
+inline uint64_t EffectiveMemoryBudget(const GraceConfig& config) {
+  if (config.dynamic_budget) {
+    uint64_t live = config.dynamic_budget();
+    if (live > 0) return live;
+  }
+  return config.memory_budget;
+}
 
 /// Partition count such that one partition of `data_bytes` total bytes
 /// plus its hash table fits in `budget` bytes.
@@ -126,7 +149,7 @@ void RunOnePass(MM& mm, const GraceConfig& config, const Relation& input,
 /// (the "final sink merge") in worker order, keeping results
 /// deterministic for a fixed thread count.
 template <typename MM>
-void ParallelOnePass(ThreadPool& pool, WorkerMemorySet<MM>& wmem,
+void ParallelOnePass(PoolExecutor& pool, WorkerMemorySet<MM>& wmem,
                      const GraceConfig& config, const Relation& input,
                      std::vector<Relation>* dests, uint32_t parts,
                      uint32_t divisor) {
@@ -191,7 +214,7 @@ template <typename MM>
 void PartitionWithPlan(MM& mm, const GraceConfig& config,
                        const Relation& input, const PartitionPlan& plan,
                        std::vector<Relation>* out,
-                       ThreadPool* pool = nullptr,
+                       PoolExecutor* pool = nullptr,
                        WorkerMemorySet<MM>* wmem = nullptr) {
   out->clear();
   if (!plan.MultiPass()) {
@@ -350,10 +373,20 @@ JoinResult GraceHashJoin(MM& mm, const Relation& build,
                          const Relation& probe, const GraceConfig& config,
                          Relation* output) {
   JoinResult result;
-  const uint32_t threads = std::max(1u, config.num_threads);
+
+  // Executor: a shared fair-share group when the service supplies one,
+  // a private per-invocation pool otherwise. All per-worker state below
+  // is sized by the executor's worker count.
+  std::unique_ptr<PoolExecutor> owned_pool;
+  PoolExecutor* pool = config.executor;
+  if (pool == nullptr && std::max(1u, config.num_threads) > 1) {
+    owned_pool = std::make_unique<PoolExecutor>(config.num_threads);
+    pool = owned_pool.get();
+  }
+  const uint32_t threads = pool != nullptr ? pool->num_workers() : 1;
 
   // --- sizing ---
-  uint64_t budget = config.memory_budget;
+  uint64_t budget = EffectiveMemoryBudget(config);
   if (config.cache_mode == GraceConfig::CacheMode::kDirect) {
     budget = config.cache_budget;
   }
@@ -371,18 +404,15 @@ JoinResult GraceHashJoin(MM& mm, const Relation& build,
                    config.page_size);
   Relation* out = output != nullptr ? output : &discard;
 
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-
   // --- partition phase (both relations) ---
   std::vector<Relation> build_parts;
   std::vector<Relation> probe_parts;
   result.partition_phase = internal_grace::MeasurePhase(mm, [&] {
     if (pool != nullptr) {
       WorkerMemorySet<MM> wmem(mm, threads);
-      PartitionWithPlan(mm, config, build, plan, &build_parts, pool.get(),
+      PartitionWithPlan(mm, config, build, plan, &build_parts, pool,
                         &wmem);
-      PartitionWithPlan(mm, config, probe, plan, &probe_parts, pool.get(),
+      PartitionWithPlan(mm, config, probe, plan, &probe_parts, pool,
                         &wmem);
       wmem.MergeInto(mm);
     } else {

@@ -16,6 +16,10 @@ DiskGraceJoin::DiskGraceJoin(BufferManager* bm, const DiskJoinConfig& config)
     : bm_(bm), config_(config), page_size_(bm->config().disk.page_size) {
   HJ_CHECK(config_.num_partitions >= 1);
   HJ_CHECK(config_.overflow_fanout >= 2);
+  if (config_.initial_grant_bytes != 0) {
+    peak_budget_ = config_.initial_grant_bytes;
+    trough_budget_ = config_.initial_grant_bytes;
+  }
 }
 
 DiskGraceJoin::DiskGraceJoin(BufferManager* bm, uint32_t num_partitions)
@@ -154,6 +158,19 @@ StatusOr<std::vector<BufferManager::FileId>> DiskGraceJoin::Partition(
   return part_files;
 }
 
+uint64_t DiskGraceJoin::EffectiveBudget() {
+  uint64_t budget = config_.memory_budget;
+  if (config_.dynamic_budget) {
+    uint64_t live = config_.dynamic_budget();
+    if (live > 0) budget = live;
+  }
+  if (budget != 0) {
+    peak_budget_ = std::max(peak_budget_, budget);
+    trough_budget_ = std::min(trough_budget_, budget);
+  }
+  return budget;
+}
+
 uint64_t DiskGraceJoin::EstimateBuildBytes(BufferManager::FileId file) const {
   uint64_t tuples = 0;
   auto it = file_stats_.find(file);
@@ -212,7 +229,6 @@ Status DiskGraceJoin::JoinChunked(BufferManager::FileId build,
                                   BufferManager::FileId probe,
                                   uint64_t* matches) {
   ++tally_.chunked_fallbacks;
-  const uint64_t budget = config_.memory_budget;
   std::vector<std::vector<uint8_t>> chunk;
   uint64_t chunk_tuples = 0;
   auto scan = bm_->OpenScan(build);
@@ -223,6 +239,9 @@ Status DiskGraceJoin::JoinChunked(BufferManager::FileId build,
     HJ_RETURN_IF_ERROR(VerifyPage(page));
     uint64_t page_tuples =
         SlottedPage::Attach(const_cast<uint8_t*>(page)).slot_count();
+    // Re-read the live budget per page: a broker revoke mid-chunk
+    // flushes the chunk earlier, a re-grown grant admits more pages.
+    const uint64_t budget = EffectiveBudget();
     // Join the accumulated chunk before this page would push it over the
     // budget. A chunk always holds at least one page, so even a budget
     // smaller than one page's build cost makes progress (that single
@@ -247,9 +266,14 @@ Status DiskGraceJoin::JoinChunked(BufferManager::FileId build,
 Status DiskGraceJoin::JoinPartitionPair(BufferManager::FileId build,
                                         BufferManager::FileId probe,
                                         uint32_t depth, uint64_t* matches) {
-  const uint64_t budget = config_.memory_budget;
+  const uint64_t budget = EffectiveBudget();
   const uint64_t build_pages = bm_->FileNumPages(build);
-  if (budget == 0 || EstimateBuildBytes(build) <= budget) {
+  const uint64_t need = EstimateBuildBytes(build);
+  if (budget == 0 || need <= budget) {
+    // Fits now — but if it would NOT have fit at the lowest budget this
+    // join has been squeezed to, a grant re-growth recovered in-memory
+    // work that a revoke had condemned to spill ("un-spill").
+    if (budget != 0 && need > trough_budget_) ++tally_.regrant_unspills;
     // Fits: load the build partition (pages must outlive the hash table)
     // and stream the probe partition against it.
     std::vector<std::vector<uint8_t>> pages;
@@ -268,6 +292,10 @@ Status DiskGraceJoin::JoinPartitionPair(BufferManager::FileId build,
     }
     return BuildAndProbe(pages, tuples, probe, matches);
   }
+
+  // Spilling — and if the partition would have fit at the peak budget,
+  // this spill exists only because a revoke shrank the grant.
+  if (need <= peak_budget_) ++tally_.revoke_spills;
 
   if (depth < config_.max_recursion_depth) {
     // Over budget: re-split the build side with the next level's salted
@@ -329,6 +357,11 @@ StatusOr<DiskJoinResult> DiskGraceJoin::Join(BufferManager::FileId build,
                                              BufferManager::FileId probe) {
   DiskJoinResult result;
   result.num_partitions = config_.num_partitions;
+  // Seed the peak/trough watermarks with the budget granted at join
+  // start: sizing decisions only run in the join phase, so without this
+  // a grant revoked during the partition phase would never register as
+  // "once larger" and its spills would misclassify as plain skew.
+  EffectiveBudget();
   const IoRecoveryStats io_before = bm_->recovery_stats();
   const DiskJoinRecovery tally_before = tally_;
   HJ_ASSIGN_OR_RETURN(auto build_parts,
@@ -354,6 +387,10 @@ StatusOr<DiskJoinResult> DiskGraceJoin::Join(BufferManager::FileId build,
       tally_.chunked_fallbacks - tally_before.chunked_fallbacks;
   result.recovery.deepest_recursion = tally_.deepest_recursion;
   result.recovery.max_build_bytes = tally_.max_build_bytes;
+  result.recovery.revoke_spills =
+      tally_.revoke_spills - tally_before.revoke_spills;
+  result.recovery.regrant_unspills =
+      tally_.regrant_unspills - tally_before.regrant_unspills;
   return result;
 }
 

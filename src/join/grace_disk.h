@@ -2,6 +2,7 @@
 #define HASHJOIN_JOIN_GRACE_DISK_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +46,25 @@ struct DiskJoinConfig {
   /// check across the full I/O path, on top of the buffer manager's
   /// per-page CRC.
   bool page_checksums = true;
+
+  /// Live memory budget (bytes) from a scheduler's memory-broker grant.
+  /// When set and returning non-zero it overrides `memory_budget` and is
+  /// re-read at every sizing decision — so a broker revoke mid-join
+  /// forces subsequent build partitions to spill (recursive repartition
+  /// or chunked build), and a re-grown grant lets them run in memory
+  /// again. The function must be safe to call from the joining thread at
+  /// any time (a relaxed atomic read of the grant is the intended
+  /// implementation).
+  std::function<uint64_t()> dynamic_budget;
+
+  /// The grant size at admission, bytes (`MemoryGrant::initial_bytes()`).
+  /// Seeds the peak/trough watermarks the revoke/un-spill classification
+  /// compares against: without it, a grant revoked before the join's
+  /// first sizing decision (e.g. while this query was still writing its
+  /// partitions) would never register as "once larger", and the spills
+  /// it forces would misclassify as plain skew overflow. 0 = seed from
+  /// the first budget the join observes.
+  uint64_t initial_grant_bytes = 0;
 };
 
 /// Recovery actions taken during one Join() call; all zero on a clean,
@@ -67,6 +87,14 @@ struct DiskJoinRecovery {
   /// pages + estimated hash table); never exceeds the budget when one is
   /// set.
   uint64_t max_build_bytes = 0;
+  /// Build partitions spilled (split or chunked) ONLY because the live
+  /// grant shrank below the peak budget this join has seen — i.e. spills
+  /// a broker revoke forced, as opposed to plain skew overflow.
+  uint64_t revoke_spills = 0;
+  /// Build partitions joined fully in memory that would have spilled at
+  /// the lowest budget seen — i.e. in-memory work a grant re-growth
+  /// ("un-spill") recovered after an earlier revoke.
+  uint64_t regrant_unspills = 0;
 };
 
 /// Result of a full disk-backed join.
@@ -135,6 +163,11 @@ class DiskGraceJoin {
   template <typename Fn>
   DiskPhaseStats Measure(Fn&& fn);
 
+  /// The budget to size the next in-memory build by: the live grant when
+  /// wired, the static config otherwise. Maintains the peak/trough
+  /// watermarks the revoke/un-spill accounting compares against.
+  uint64_t EffectiveBudget();
+
   /// Stamps (if configured) and queues one page write, tallying stats.
   void WritePage(BufferManager::FileId file, uint64_t page_index,
                  uint8_t* page_bytes);
@@ -176,6 +209,11 @@ class DiskGraceJoin {
   uint32_t page_size_;
   std::unordered_map<BufferManager::FileId, FileStats> file_stats_;
   DiskJoinRecovery tally_;  // cumulative skew/recovery tallies
+  /// Largest / smallest non-zero effective budget observed so far; the
+  /// deltas against the live value classify spills as revoke-forced and
+  /// in-memory builds as un-spilled.
+  uint64_t peak_budget_ = 0;
+  uint64_t trough_budget_ = UINT64_MAX;
 };
 
 }  // namespace hashjoin

@@ -10,7 +10,10 @@ namespace hashjoin {
 /// Partition count of a hybrid hash join: the forced count if set, the
 /// memory-budget sizing otherwise, clamped to at least 2 — hybrid's
 /// structure needs partition 0 (built in place) plus at least one spilled
-/// partition, even when the whole build would fit in memory.
+/// partition, even when the whole build would fit in memory. Sizing
+/// honors a live broker grant (`config.dynamic_budget`) when one is
+/// wired in: a query admitted under a small grant spills more partitions
+/// up front instead of overrunning its share.
 inline uint32_t HybridPartitionCount(uint64_t build_tuples,
                                      uint64_t build_bytes,
                                      const GraceConfig& config) {
@@ -18,7 +21,7 @@ inline uint32_t HybridPartitionCount(uint64_t build_tuples,
       config.forced_num_partitions != 0
           ? config.forced_num_partitions
           : ComputeNumPartitions(build_tuples, build_bytes,
-                                 config.memory_budget);
+                                 EffectiveMemoryBudget(config));
   return num_parts < 2 ? 2 : num_parts;
 }
 

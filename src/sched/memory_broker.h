@@ -1,0 +1,170 @@
+#ifndef HASHJOIN_SCHED_MEMORY_BROKER_H_
+#define HASHJOIN_SCHED_MEMORY_BROKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hashjoin {
+
+class MemoryBroker;
+
+/// One revocable memory reservation handed out by a MemoryBroker.
+///
+/// The broker may shrink the grant (down to its admission minimum) at any
+/// time to admit another query, and re-grow it (up to its desired size)
+/// when budget frees up. The owning query reads `bytes()` — a relaxed
+/// atomic load, safe from any thread — at every sizing decision; wiring
+/// `BudgetFn()` into `DiskJoinConfig::dynamic_budget` or
+/// `GraceConfig::dynamic_budget` makes the join spill more partitions
+/// after a revoke and build in memory again after a re-grow, with no
+/// locking on the join's hot path.
+///
+/// Destroying (or Release()ing) the grant returns its bytes to the
+/// broker, which redistributes them to shrunken grants and wakes blocked
+/// Acquire() calls. The handle must outlive every closure obtained from
+/// BudgetFn().
+class MemoryGrant {
+ public:
+  ~MemoryGrant() { Release(); }
+
+  MemoryGrant(const MemoryGrant&) = delete;
+  MemoryGrant& operator=(const MemoryGrant&) = delete;
+
+  /// Bytes currently granted (relaxed atomic; any thread).
+  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+  /// The live-budget closure to wire into a join config. Reads the grant
+  /// on every call; the grant must outlive the closure.
+  std::function<uint64_t()> BudgetFn() const {
+    return [this] { return bytes(); };
+  }
+
+  /// Admission minimum / ceiling this grant was acquired with.
+  uint64_t min_bytes() const { return min_bytes_; }
+  uint64_t desired_bytes() const { return desired_bytes_; }
+
+  /// Times the broker shrank / re-grew this grant.
+  uint64_t revokes() const { return revokes_.load(std::memory_order_relaxed); }
+  uint64_t regrows() const { return regrows_.load(std::memory_order_relaxed); }
+
+  /// Bytes granted at acquisition, and the smallest size ever held —
+  /// together with bytes() these describe the grant's whole history.
+  uint64_t initial_bytes() const { return initial_bytes_; }
+  uint64_t low_watermark() const {
+    return low_watermark_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs a callback invoked (outside broker locks, from the
+  /// revoking thread) after each revoke, with the new grant size. The
+  /// polling-based spill path does not need this; it exists for
+  /// observability and for callers that want to react eagerly.
+  void SetRevokeListener(std::function<void(uint64_t new_bytes)> fn);
+
+  /// Returns all bytes to the broker. Idempotent; also run by the dtor.
+  void Release();
+
+ private:
+  friend class MemoryBroker;
+  MemoryGrant(MemoryBroker* broker, uint64_t bytes, uint64_t min_bytes,
+              uint64_t desired_bytes)
+      : broker_(broker),
+        bytes_(bytes),
+        min_bytes_(min_bytes),
+        desired_bytes_(desired_bytes),
+        initial_bytes_(bytes),
+        low_watermark_(bytes) {}
+
+  MemoryBroker* broker_;
+  std::atomic<uint64_t> bytes_;
+  const uint64_t min_bytes_;
+  const uint64_t desired_bytes_;
+  const uint64_t initial_bytes_;
+  std::atomic<uint64_t> low_watermark_;
+  std::atomic<uint64_t> revokes_{0};
+  std::atomic<uint64_t> regrows_{0};
+  std::mutex listener_mu_;
+  std::function<void(uint64_t)> revoke_listener_;  // guarded by listener_mu_
+};
+
+/// Hands out revocable memory grants from one global budget.
+///
+/// Policy: a new query asks for [min_bytes, desired_bytes]. Free budget
+/// is granted up to `desired`. If free budget cannot cover `min`, the
+/// broker *revokes* surplus — bytes above other grants' admission minima,
+/// largest surplus first — until `min` is covered; the shrunken queries
+/// observe the smaller grant at their next sizing decision and spill.
+/// Revocation never cuts a grant below its own minimum, so an Acquire
+/// whose minimum exceeds free-plus-revocable blocks (bounded by its
+/// timeout) until a release makes room. Released bytes are redistributed
+/// to shrunken grants in acquisition order (oldest first), re-growing
+/// them toward `desired` — the un-spill signal.
+///
+/// All methods are thread-safe.
+class MemoryBroker {
+ public:
+  explicit MemoryBroker(uint64_t total_budget);
+  ~MemoryBroker();
+
+  MemoryBroker(const MemoryBroker&) = delete;
+  MemoryBroker& operator=(const MemoryBroker&) = delete;
+
+  /// Acquires a grant of `min_bytes`..`desired_bytes`, revoking other
+  /// grants' surplus if needed (see class comment). Blocks up to
+  /// `timeout_seconds` for budget to free up (negative = wait forever,
+  /// 0 = fail immediately if `min_bytes` is not coverable right now).
+  /// Errors: kInvalidArgument for min > desired or min == 0;
+  /// kResourceExhausted when min_bytes exceeds the total budget (can
+  /// never succeed); kDeadlineExceeded when the timeout passed first.
+  StatusOr<std::unique_ptr<MemoryGrant>> Acquire(uint64_t min_bytes,
+                                                 uint64_t desired_bytes,
+                                                 double timeout_seconds = -1);
+
+  uint64_t total_budget() const { return total_budget_; }
+
+  /// Unreserved bytes right now.
+  uint64_t free_bytes() const;
+
+  /// Grants currently outstanding.
+  uint64_t active_grants() const;
+
+  /// Cumulative revoke / re-grow events across all grants.
+  uint64_t total_revokes() const {
+    return total_revokes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_regrows() const {
+    return total_regrows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MemoryGrant;
+
+  /// Returns `grant`'s bytes to the pool and redistributes.
+  void ReleaseGrant(MemoryGrant* grant);
+
+  /// Gives free bytes to shrunken grants (oldest first, up to desired)
+  /// and wakes blocked Acquire() calls. Caller holds mu_.
+  void RedistributeLocked();
+
+  /// Sum of revocable surplus (bytes above min) across grants. Holds mu_.
+  uint64_t RevocableLocked() const;
+
+  const uint64_t total_budget_;
+  mutable std::mutex mu_;
+  std::condition_variable budget_cv_;
+  uint64_t free_ = 0;                  // guarded by mu_
+  std::vector<MemoryGrant*> grants_;   // guarded by mu_; acquisition order
+  std::atomic<uint64_t> total_revokes_{0};
+  std::atomic<uint64_t> total_regrows_{0};
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_SCHED_MEMORY_BROKER_H_

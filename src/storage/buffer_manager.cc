@@ -279,6 +279,34 @@ double BufferManager::max_disk_busy_seconds() const {
   return mx;
 }
 
+void BufferManager::SetReadAheadBudget(std::function<uint64_t()> bytes_fn) {
+  auto holder =
+      bytes_fn ? std::make_shared<const std::function<uint64_t()>>(
+                     std::move(bytes_fn))
+               : nullptr;
+  std::lock_guard<std::mutex> lock(readahead_mu_);
+  readahead_budget_ = std::move(holder);
+}
+
+uint32_t BufferManager::ReadAheadWindow() {
+  std::shared_ptr<const std::function<uint64_t()>> fn;
+  {
+    std::lock_guard<std::mutex> lock(readahead_mu_);
+    fn = readahead_budget_;
+  }
+  uint32_t depth = config_.io_prefetch_depth;
+  if (fn == nullptr) return depth;
+  uint64_t frames = (*fn)() / config_.disk.page_size;
+  // Floor of 2: one frame holds the page the caller is consuming, one
+  // keeps the scan moving — a zero grant must throttle, never wedge.
+  uint32_t window = uint32_t(std::min<uint64_t>(frames, depth));
+  if (window < 2) window = 2;
+  if (window < depth) {
+    readahead_throttles_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return window;
+}
+
 IoRecoveryStats BufferManager::recovery_stats() const {
   IoRecoveryStats s;
   s.read_retries = read_retries_.load();
@@ -307,9 +335,12 @@ BufferManager::Scanner::~Scanner() {
 
 void BufferManager::Scanner::IssueReadAhead() {
   // Leave one frame un-reissued: the page most recently handed to the
-  // caller must stay valid until the next NextPage() call.
+  // caller must stay valid until the next NextPage() call. The live
+  // window re-shrinks under a broker budget (frames_ stays allocated at
+  // full depth; only the in-flight count contracts).
+  uint64_t window = bm_->ReadAheadWindow();
   while (next_to_issue_ < num_pages_ &&
-         next_to_issue_ + 1 < next_to_return_ + frames_.size()) {
+         next_to_issue_ + 1 < next_to_return_ + window) {
     Frame& f = frames_[next_to_issue_ % frames_.size()];
     f.ready = bm_->EnqueueRead(file_, next_to_issue_, f.buffer.get());
     ++next_to_issue_;

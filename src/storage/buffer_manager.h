@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -158,6 +159,21 @@ class BufferManager {
   /// Cumulative recovery-action counters (callers diff snapshots).
   IoRecoveryStats recovery_stats() const;
 
+  /// Installs (or clears, with an empty function) a live byte budget for
+  /// scan read-ahead: each scan's in-flight window is capped at
+  /// budget / page_size frames (floor 2, so scans always make progress,
+  /// ceiling io_prefetch_depth). The scheduler's memory broker wires a
+  /// grant fraction in here so a revoked query also stops hoarding frame
+  /// memory. The function is called on the scanning thread per
+  /// NextPage(); it must be cheap and thread-safe.
+  void SetReadAheadBudget(std::function<uint64_t()> bytes_fn);
+
+  /// Times a scan's read-ahead window was clamped below the configured
+  /// depth by the budget (cumulative; callers diff snapshots).
+  uint64_t readahead_throttles() const {
+    return readahead_throttles_.load(std::memory_order_relaxed);
+  }
+
   uint32_t num_disks() const { return uint32_t(disks_.size()); }
   const BufferManagerConfig& config() const { return config_; }
 
@@ -193,6 +209,8 @@ class BufferManager {
   };
 
   void WorkerLoop(DiskWorker* w);
+  /// Frames a scan may keep in flight right now (see SetReadAheadBudget).
+  uint32_t ReadAheadWindow();
   Status ReadWithRetry(DiskWorker* w, const Request& req);
   Status WriteWithRetry(DiskWorker* w, const Request& req);
   /// Plain device read retried on transient errors only (no checksum) —
@@ -223,6 +241,9 @@ class BufferManager {
   std::atomic<uint64_t> write_retries_{0};
   std::atomic<uint64_t> checksum_failures_{0};
   std::atomic<uint64_t> write_verify_failures_{0};
+  mutable std::mutex readahead_mu_;  // guards readahead_budget_
+  std::shared_ptr<const std::function<uint64_t()>> readahead_budget_;
+  std::atomic<uint64_t> readahead_throttles_{0};
 };
 
 }  // namespace hashjoin

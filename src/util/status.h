@@ -23,6 +23,10 @@ enum class StatusCode {
   /// were exhausted: unlike kIOError, retrying will not help — the bytes
   /// on the device are wrong.
   kDataLoss,
+  /// A deadline attached to the operation passed before it could run to
+  /// completion (e.g. a queued query whose deadline expired before
+  /// admission, or a memory grant that could not be acquired in time).
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code ("OK", "IOError", ...).
@@ -63,6 +67,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

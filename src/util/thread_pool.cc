@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <limits>
+
 #include "util/logging.h"
 
 namespace hashjoin {
@@ -43,6 +45,33 @@ void ThreadPool::Submit(Task task) {
   work_cv_.notify_one();
 }
 
+std::shared_ptr<ThreadPool::TaskGroup> ThreadPool::CreateGroup() {
+  auto group = std::make_shared<TaskGroup>();
+  std::lock_guard<std::mutex> lk(groups_mu_);
+  groups_.push_back(group);
+  return group;
+}
+
+void ThreadPool::Submit(const std::shared_ptr<TaskGroup>& group, Task task) {
+  HJ_CHECK(group != nullptr);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(groups_mu_);
+    group->tasks.push_back(std::move(task));
+    ++group->pending;
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitGroup(TaskGroup* group) {
+  std::unique_lock<std::mutex> lk(groups_mu_);
+  group->done_cv.wait(lk, [group] { return group->pending == 0; });
+}
+
 bool ThreadPool::TryGetTask(uint32_t self, Task* out) {
   // Own queue first (front), then steal from the back of the others'.
   {
@@ -68,11 +97,50 @@ bool ThreadPool::TryGetTask(uint32_t self, Task* out) {
   return false;
 }
 
+std::shared_ptr<ThreadPool::TaskGroup> ThreadPool::TryGetGroupTask(
+    Task* out) {
+  std::lock_guard<std::mutex> lk(groups_mu_);
+  // Pick the group with the fewest tasks in service among those with
+  // queued work — each active group converges to an equal worker share.
+  std::shared_ptr<TaskGroup> best;
+  uint32_t best_running = std::numeric_limits<uint32_t>::max();
+  size_t live = 0;
+  for (auto& weak : groups_) {
+    std::shared_ptr<TaskGroup> g = weak.lock();
+    if (g == nullptr) continue;  // client gone, prune below
+    groups_[live++] = g;
+    if (!g->tasks.empty() && g->running < best_running) {
+      best = g;
+      best_running = g->running;
+    }
+  }
+  groups_.resize(live);
+  if (best == nullptr) return nullptr;
+  *out = std::move(best->tasks.front());
+  best->tasks.pop_front();
+  ++best->running;
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  return best;
+}
+
+void ThreadPool::FinishGroupTask(TaskGroup* group) {
+  std::lock_guard<std::mutex> lk(groups_mu_);
+  --group->running;
+  if (--group->pending == 0) group->done_cv.notify_all();
+}
+
 void ThreadPool::WorkerLoop(uint32_t self) {
   while (true) {
     Task task;
-    if (TryGetTask(self, &task)) {
+    std::shared_ptr<TaskGroup> group;
+    bool got = TryGetTask(self, &task);
+    if (!got) {
+      group = TryGetGroupTask(&task);
+      got = group != nullptr;
+    }
+    if (got) {
       task(self);
+      if (group != nullptr) FinishGroupTask(group.get());
       std::lock_guard<std::mutex> lk(mu_);
       --pending_;
       if (pending_ == 0) done_cv_.notify_all();

@@ -20,19 +20,43 @@ namespace hashjoin {
 /// that runs them, so callers can keep per-worker state (memory models,
 /// output sinks) without any locking on the hot path.
 ///
-/// The pool is created per executor invocation: spawn cost is a few tens
-/// of microseconds, negligible against a join phase, and keeping the
-/// pool scoped avoids global state.
+/// Two submission families coexist:
+///  - plain Submit()/Wait(): the original per-invocation path (a pool
+///    created, used, and destroyed by one executor run);
+///  - TaskGroup submissions: several independent clients (concurrent
+///    queries admitted by the join scheduler) share ONE pool. Each
+///    client submits into its own group; an idle worker picks the group
+///    with the fewest tasks currently in service, so the pool's workers
+///    spread fairly across active groups instead of draining whichever
+///    query submitted first. WaitGroup() waits for one group only.
 class ThreadPool {
  public:
   using Task = std::function<void(uint32_t worker_id)>;
+
+  /// One client's share of a shared pool. Created by CreateGroup();
+  /// lifetime is managed by shared_ptr — the pool keeps a weak reference
+  /// and prunes groups that clients dropped.
+  class TaskGroup {
+   public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+   private:
+    friend class ThreadPool;
+    std::deque<Task> tasks;   // guarded by the pool's groups_mu_
+    uint32_t running = 0;     // tasks currently executing on a worker
+    uint64_t pending = 0;     // queued + running
+    std::condition_variable done_cv;  // signaled when pending hits 0
+  };
 
   explicit ThreadPool(uint32_t num_threads);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Waits for all submitted tasks, then joins the workers.
+  /// Waits for all submitted tasks (both families), then joins the
+  /// workers.
   ~ThreadPool();
 
   uint32_t num_workers() const { return uint32_t(workers_.size()); }
@@ -45,6 +69,16 @@ class ThreadPool {
   /// Blocks until every submitted task has finished executing.
   void Wait();
 
+  /// Registers a new fair-share group on this pool.
+  std::shared_ptr<TaskGroup> CreateGroup();
+
+  /// Enqueues a task into `group`. Safe from any thread.
+  void Submit(const std::shared_ptr<TaskGroup>& group, Task task);
+
+  /// Blocks until every task submitted to `group` has finished. Other
+  /// groups' tasks are not waited on.
+  void WaitGroup(TaskGroup* group);
+
  private:
   /// One worker's deque. Owner pops the front (LIFO-ish locality does
   /// not matter here: morsels are independent); thieves take the back,
@@ -56,6 +90,11 @@ class ThreadPool {
   };
 
   bool TryGetTask(uint32_t self, Task* out);
+  /// Fair group pick: among groups with queued tasks, the one with the
+  /// fewest running. Returns the owning group so the worker can retire
+  /// the task against it.
+  std::shared_ptr<TaskGroup> TryGetGroupTask(Task* out);
+  void FinishGroupTask(TaskGroup* group);
   void WorkerLoop(uint32_t self);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
@@ -68,6 +107,47 @@ class ThreadPool {
   std::atomic<int64_t> queued_{0};  // submitted but not yet dequeued
   std::atomic<uint32_t> next_queue_{0};
   bool stop_ = false;
+
+  std::mutex groups_mu_;           // guards groups_ and their members
+  std::vector<std::weak_ptr<TaskGroup>> groups_;
+};
+
+/// The executor handle the join code paths run on: either a private pool
+/// (the original one-pool-per-join mode) or one fair-share group of a
+/// pool shared across concurrent queries. Submit/Wait have the same
+/// semantics either way — Wait() covers exactly this executor's tasks —
+/// so GraceHashJoin and friends are agnostic to which mode they run in.
+class PoolExecutor {
+ public:
+  /// Private-pool mode: owns a fresh pool of `num_threads` workers.
+  explicit PoolExecutor(uint32_t num_threads)
+      : owned_(std::make_unique<ThreadPool>(num_threads)),
+        pool_(owned_.get()),
+        group_(pool_->CreateGroup()) {}
+
+  /// Shared-pool mode: one fair-share group of `shared` (must outlive
+  /// this executor).
+  explicit PoolExecutor(ThreadPool* shared)
+      : pool_(shared), group_(pool_->CreateGroup()) {}
+
+  PoolExecutor(const PoolExecutor&) = delete;
+  PoolExecutor& operator=(const PoolExecutor&) = delete;
+
+  ~PoolExecutor() { Wait(); }
+
+  uint32_t num_workers() const { return pool_->num_workers(); }
+
+  void Submit(ThreadPool::Task task) {
+    pool_->Submit(group_, std::move(task));
+  }
+
+  /// Waits for this executor's tasks only (not the whole shared pool).
+  void Wait() { pool_->WaitGroup(group_.get()); }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_;
+  std::shared_ptr<ThreadPool::TaskGroup> group_;
 };
 
 }  // namespace hashjoin

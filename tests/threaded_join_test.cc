@@ -99,7 +99,7 @@ TEST(ParallelPartitionTest, MatchesSerialPartitions) {
   std::vector<Relation> serial;
   PartitionWithPlan(mm, config, input, plan, &serial);
 
-  ThreadPool pool(4);
+  PoolExecutor pool(4u);
   WorkerMemorySet<RealMemory> wmem(mm, 4);
   std::vector<Relation> parallel;
   PartitionWithPlan(mm, config, input, plan, &parallel, &pool, &wmem);
@@ -122,7 +122,7 @@ TEST(ParallelPartitionTest, MultiPassMatchesSerial) {
   std::vector<Relation> serial;
   PartitionWithPlan(mm, config, input, plan, &serial);
 
-  ThreadPool pool(3);
+  PoolExecutor pool(3u);
   WorkerMemorySet<RealMemory> wmem(mm, 3);
   std::vector<Relation> parallel;
   PartitionWithPlan(mm, config, input, plan, &parallel, &pool, &wmem);

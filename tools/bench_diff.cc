@@ -1,8 +1,9 @@
 // Compares two BENCH_*.json files produced by the src/perf harness and
 // flags regressions, or validates one file against the schema:
 //
-//   bench_diff [--threshold=0.10] [--metric=wall_seconds.median] OLD NEW
-//   bench_diff --check FILE [FILE...]
+//   bench_diff [--threshold=0.10] [--metric=wall_seconds.median]
+//              [--require=PATH[,PATH...]] OLD NEW
+//   bench_diff --check [--require=PATH[,PATH...]] FILE [FILE...]
 //
 // Records are matched by their unique "name". A record regresses when
 // NEW metric > OLD metric * (1 + threshold); the exit code is 1 when any
@@ -12,7 +13,17 @@
 // metric (counters unavailable) are reported and skipped, not failed:
 // a bench run on a counter-less CI host must not mask wall-time
 // regressions seen elsewhere.
+//
+// --require inverts that leniency for the named dotted metric paths
+// (comma-separated): each required path must resolve to a numeric value
+// in at least one record of every examined file, else the run FAILS
+// instead of skipping — and in compare mode, a record pair lacking data
+// for the --metric fails too when that metric is required. CI fixtures
+// use it to pin down metrics a bench promises to emit — a silent schema
+// drift then breaks the gate rather than producing a vacuously green
+// "no data" diff.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -66,7 +77,44 @@ bool CheckRecord(const JsonValue& rec, size_t index,
   return true;
 }
 
-int CheckFile(const std::string& path) {
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// --require: each path must be a numeric value in at least one record.
+/// Appends an error per unmet path; returns false if any was unmet.
+bool CheckRequiredPaths(const JsonValue* records,
+                        const std::vector<std::string>& required,
+                        std::vector<std::string>* errors) {
+  bool all_found = true;
+  for (const std::string& path : required) {
+    bool found = false;
+    for (size_t i = 0; records != nullptr && i < records->size(); ++i) {
+      const JsonValue* v = records->at(i).FindPath(path);
+      if (v != nullptr && v->is_number()) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      errors->push_back("required metric \"" + path +
+                        "\" missing from every record");
+      all_found = false;
+    }
+  }
+  return all_found;
+}
+
+int CheckFile(const std::string& path,
+              const std::vector<std::string>& required) {
   auto doc = ReadJsonFile(path);
   if (!doc.ok()) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(),
@@ -93,6 +141,7 @@ int CheckFile(const std::string& path) {
       CheckRecord(records->at(i), i, &errors);
     }
   }
+  CheckRequiredPaths(records, required, &errors);
   if (errors.empty()) {
     std::printf("%s: OK (%zu records)\n", path.c_str(),
                 records != nullptr ? records->size() : 0);
@@ -118,7 +167,10 @@ const JsonValue* FindRecord(const JsonValue& records,
 }
 
 int Compare(const std::string& old_path, const std::string& new_path,
-            const std::string& metric, double threshold) {
+            const std::string& metric, double threshold,
+            const std::vector<std::string>& required) {
+  const bool metric_required =
+      std::find(required.begin(), required.end(), metric) != required.end();
   auto old_doc = ReadJsonFile(old_path);
   auto new_doc = ReadJsonFile(new_path);
   if (!old_doc.ok() || !new_doc.ok()) {
@@ -136,6 +188,15 @@ int Compare(const std::string& old_path, const std::string& new_path,
     return 2;
   }
 
+  // Required metrics must exist on both sides before any comparing.
+  std::vector<std::string> required_errors;
+  CheckRequiredPaths(old_records, required, &required_errors);
+  CheckRequiredPaths(new_records, required, &required_errors);
+  for (const std::string& e : required_errors) {
+    std::fprintf(stderr, "%s\n", e.c_str());
+  }
+  int missing_required = int(required_errors.size());
+
   std::printf("%-40s %14s %14s %9s\n", "record", "old", "new", "delta");
   int regressions = 0, improvements = 0, skipped = 0;
   for (size_t i = 0; i < new_records->size(); ++i) {
@@ -152,9 +213,15 @@ int Compare(const std::string& old_path, const std::string& new_path,
     const JsonValue* nv = nr.FindPath(metric);
     if (ov == nullptr || nv == nullptr || ov->is_null() || nv->is_null() ||
         !ov->is_number() || !nv->is_number()) {
-      std::printf("%-40s %14s %14s %9s\n", name->AsString().c_str(), "?",
-                  "?", "no data");
-      ++skipped;
+      if (metric_required) {
+        std::printf("%-40s %14s %14s %9s\n", name->AsString().c_str(), "?",
+                    "?", "MISSING");
+        ++missing_required;
+      } else {
+        std::printf("%-40s %14s %14s %9s\n", name->AsString().c_str(), "?",
+                    "?", "no data");
+        ++skipped;
+      }
       continue;
     }
     double o = ov->AsDouble(), n = nv->AsDouble();
@@ -179,10 +246,10 @@ int Compare(const std::string& old_path, const std::string& new_path,
     }
   }
   std::printf("\nmetric=%s threshold=%.1f%%: %d regression(s), "
-              "%d improvement(s), %d without data\n",
+              "%d improvement(s), %d without data, %d missing required\n",
               metric.c_str(), 100.0 * threshold, regressions, improvements,
-              skipped);
-  return regressions > 0 ? 1 : 0;
+              skipped, missing_required);
+  return regressions > 0 || missing_required > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -207,6 +274,9 @@ int main(int argc, char** argv) {
     positional.push_back(a);
   }
 
+  std::vector<std::string> required =
+      hashjoin::SplitCsv(flags.GetString("require", ""));
+
   if (flags.Has("check")) {
     // Both `--check FILE` (FILE lands in the flag value) and
     // `--check=FILE` and `--check FILE1 FILE2 ...` work.
@@ -215,12 +285,14 @@ int main(int argc, char** argv) {
       positional.insert(positional.begin(), inline_file);
     }
     if (positional.empty()) {
-      std::fprintf(stderr, "usage: bench_diff --check FILE [FILE...]\n");
+      std::fprintf(stderr,
+                   "usage: bench_diff --check [--require=PATH[,PATH...]] "
+                   "FILE [FILE...]\n");
       return 2;
     }
     int rc = 0;
     for (const std::string& f : positional) {
-      rc |= hashjoin::CheckFile(f);
+      rc |= hashjoin::CheckFile(f, required);
     }
     return rc;
   }
@@ -228,11 +300,13 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_diff [--threshold=0.10] "
-                 "[--metric=wall_seconds.median] OLD NEW\n"
-                 "       bench_diff --check FILE [FILE...]\n");
+                 "[--metric=wall_seconds.median] "
+                 "[--require=PATH[,PATH...]] OLD NEW\n"
+                 "       bench_diff --check [--require=PATH[,PATH...]] "
+                 "FILE [FILE...]\n");
     return 2;
   }
   return hashjoin::Compare(positional[0], positional[1],
                            flags.GetString("metric", "wall_seconds.median"),
-                           flags.GetDouble("threshold", 0.10));
+                           flags.GetDouble("threshold", 0.10), required);
 }
