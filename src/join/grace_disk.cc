@@ -46,8 +46,9 @@ DiskPhaseStats DiskGraceJoin::Measure(Fn&& fn) {
   return stats;
 }
 
-void DiskGraceJoin::WritePage(BufferManager::FileId file, uint64_t page_index,
-                              uint8_t* page_bytes) {
+void DiskGraceJoin::QueueWritePage(BufferManager::FileId file,
+                                   uint64_t page_index,
+                                   uint8_t* page_bytes) {
   SlottedPage pg = SlottedPage::Attach(page_bytes);
   FileStats& fs = file_stats_[file];
   for (int s = 0; s < pg.slot_count(); ++s) {
@@ -81,7 +82,7 @@ StatusOr<BufferManager::FileId> DiskGraceJoin::StoreRelation(
   std::vector<uint8_t> scratch(page_size_);
   for (size_t p = 0; p < rel.num_pages(); ++p) {
     std::memcpy(scratch.data(), rel.page(p).data(), page_size_);
-    WritePage(file, p, scratch.data());
+    QueueWritePage(file, p, scratch.data());
   }
   HJ_RETURN_IF_ERROR(bm_->FlushWrites());
   return file;
@@ -99,7 +100,7 @@ Status DiskGraceJoin::PartitionInto(
     views[p] = SlottedPage::Format(bufs[p].data(), page_size_);
   }
   auto flush = [&](uint32_t p) {
-    WritePage(outs[p], next_page[p]++, bufs[p].data());
+    QueueWritePage(outs[p], next_page[p]++, bufs[p].data());
     views[p] = SlottedPage::Format(bufs[p].data(), page_size_);
   };
   auto scan = bm_->OpenScan(input);

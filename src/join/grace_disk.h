@@ -169,8 +169,9 @@ class DiskGraceJoin {
   uint64_t EffectiveBudget();
 
   /// Stamps (if configured) and queues one page write, tallying stats.
-  void WritePage(BufferManager::FileId file, uint64_t page_index,
-                 uint8_t* page_bytes);
+  /// Fire-and-forget: write errors surface at the next FlushWrites.
+  void QueueWritePage(BufferManager::FileId file, uint64_t page_index,
+                      uint8_t* page_bytes);
   /// End-to-end verification of a page read back from storage.
   Status VerifyPage(const uint8_t* page_bytes) const;
 

@@ -22,10 +22,10 @@ JoinScheduler::JoinScheduler(const SchedulerConfig& config)
 
 JoinScheduler::~JoinScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : runners_) {
     if (t.joinable()) t.join();
   }
@@ -35,12 +35,12 @@ StatusOr<uint64_t> JoinScheduler::Submit(JoinRequest req) {
   if (!req.body) {
     return Status::InvalidArgument("join request has no body");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stop_) {
     return Status::FailedPrecondition("join scheduler is shutting down");
   }
   if (queue_.size() >= config_.max_queue) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     ++stats_.rejected;
     return Status::ResourceExhausted(
         "admission queue full (" + std::to_string(config_.max_queue) +
@@ -52,7 +52,7 @@ StatusOr<uint64_t> JoinScheduler::Submit(JoinRequest req) {
   e.seq = next_seq_++;
   e.submit_time = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     ++stats_.submitted;
     if (!saw_submit_) {
       saw_submit_ = true;
@@ -60,14 +60,14 @@ StatusOr<uint64_t> JoinScheduler::Submit(JoinRequest req) {
     }
   }
   queue_.push_back(std::move(e));
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return queue_.back().id;
 }
 
 void JoinScheduler::RunnerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) work_cv_.Wait(lock);
     if (queue_.empty()) {
       if (stop_) return;  // drained
       continue;
@@ -85,11 +85,11 @@ void JoinScheduler::RunnerLoop() {
     Entry entry = std::move(queue_[best]);
     queue_.erase(queue_.begin() + ptrdiff_t(best));
     ++running_;
-    lock.unlock();
+    lock.Unlock();
     RunOne(std::move(entry));
-    lock.lock();
+    lock.Lock();
     --running_;
-    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    if (queue_.empty() && running_ == 0) idle_cv_.NotifyAll();
   }
 }
 
@@ -168,20 +168,20 @@ void JoinScheduler::RunOne(Entry entry) {
 
 void JoinScheduler::Record(QueryStats stats,
                            uint64_t ServiceStats::* counter) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   stats_.*counter += 1;
   stats_.queries.push_back(std::move(stats));
   last_done_ = std::chrono::steady_clock::now();
 }
 
 void JoinScheduler::WaitAll() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || running_ != 0) idle_cv_.Wait(lock);
 }
 
 ServiceStats JoinScheduler::Drain() {
   WaitAll();
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ServiceStats snapshot = stats_;
   if (saw_submit_ && !snapshot.queries.empty()) {
     snapshot.makespan_seconds =

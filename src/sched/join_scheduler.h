@@ -2,18 +2,18 @@
 #define HASHJOIN_SCHED_JOIN_SCHEDULER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "sched/memory_broker.h"
 #include "sched/query_context.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace hashjoin {
@@ -92,14 +92,14 @@ class JoinScheduler {
   /// Queues `req`. Returns the query id, kResourceExhausted when the
   /// admission queue is full, kInvalidArgument for an empty body, or
   /// kFailedPrecondition after shutdown began.
-  StatusOr<uint64_t> Submit(JoinRequest req);
+  StatusOr<uint64_t> Submit(JoinRequest req) HJ_EXCLUDES(mu_, stats_mu_);
 
   /// Blocks until every admitted query has completed.
-  void WaitAll();
+  void WaitAll() HJ_EXCLUDES(mu_);
 
   /// WaitAll(), then a snapshot of everything the service recorded.
   /// Callable repeatedly; later calls see later completions too.
-  ServiceStats Drain();
+  ServiceStats Drain() HJ_EXCLUDES(mu_, stats_mu_);
 
   MemoryBroker& broker() { return broker_; }
   ThreadPool& pool() { return pool_; }
@@ -115,30 +115,33 @@ class JoinScheduler {
     TimePoint submit_time;
   };
 
-  void RunnerLoop();
-  void RunOne(Entry entry);
+  void RunnerLoop() HJ_EXCLUDES(mu_);
+  void RunOne(Entry entry) HJ_EXCLUDES(mu_, stats_mu_);
   /// Files a finished query's record under stats_mu_. `counter` is the
   /// ServiceStats field to bump (completed/failed/deadline_expired).
-  void Record(QueryStats stats, uint64_t ServiceStats::* counter);
+  void Record(QueryStats stats, uint64_t ServiceStats::* counter)
+      HJ_EXCLUDES(stats_mu_);
 
   SchedulerConfig config_;
   MemoryBroker broker_;
   ThreadPool pool_;
 
-  std::mutex mu_;  // queue_, stop_, running_, next_id_/next_seq_
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::vector<Entry> queue_;
-  bool stop_ = false;
-  uint32_t running_ = 0;
-  uint64_t next_id_ = 1;
-  uint64_t next_seq_ = 0;
+  /// Admission state. Lock order: mu_ before stats_mu_ (Submit bumps
+  /// the rejected/submitted tallies while holding the queue lock).
+  Mutex mu_ HJ_ACQUIRED_BEFORE(stats_mu_);
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::vector<Entry> queue_ HJ_GUARDED_BY(mu_);
+  bool stop_ HJ_GUARDED_BY(mu_) = false;
+  uint32_t running_ HJ_GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ HJ_GUARDED_BY(mu_) = 1;
+  uint64_t next_seq_ HJ_GUARDED_BY(mu_) = 0;
 
-  std::mutex stats_mu_;  // everything below
-  ServiceStats stats_;
-  bool saw_submit_ = false;
-  TimePoint first_submit_;
-  TimePoint last_done_;
+  Mutex stats_mu_;
+  ServiceStats stats_ HJ_GUARDED_BY(stats_mu_);
+  bool saw_submit_ HJ_GUARDED_BY(stats_mu_) = false;
+  TimePoint first_submit_ HJ_GUARDED_BY(stats_mu_);
+  TimePoint last_done_ HJ_GUARDED_BY(stats_mu_);
 
   std::vector<std::thread> runners_;
 };

@@ -8,7 +8,7 @@
 namespace hashjoin {
 
 void MemoryGrant::SetRevokeListener(std::function<void(uint64_t)> fn) {
-  std::lock_guard<std::mutex> lock(listener_mu_);
+  MutexLock lock(listener_mu_);
   revoke_listener_ = std::move(fn);
 }
 
@@ -25,18 +25,18 @@ MemoryBroker::MemoryBroker(uint64_t total_budget)
 }
 
 MemoryBroker::~MemoryBroker() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HJ_CHECK(grants_.empty())
       << "MemoryBroker destroyed with grants outstanding";
 }
 
 uint64_t MemoryBroker::free_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return free_;
 }
 
 uint64_t MemoryBroker::active_grants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return grants_.size();
 }
 
@@ -68,18 +68,20 @@ StatusOr<std::unique_ptr<MemoryGrant>> MemoryBroker::Acquire(
   std::vector<std::pair<std::function<void(uint64_t)>, uint64_t>> notify;
   std::unique_ptr<MemoryGrant> grant;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Admission: wait until the minimum is coverable from free budget
-    // plus other grants' revocable surplus.
-    auto admissible = [&] { return free_ + RevocableLocked() >= min_bytes; };
-    if (!admissible()) {
+    // plus other grants' revocable surplus. Written as an explicit
+    // predicate loop (not a wait(lambda)) so the guarded reads of free_
+    // and grants_ stay in this scope, which provably holds mu_.
+    while (free_ + RevocableLocked() < min_bytes) {
       if (timeout_seconds == 0) {
         return Status::ResourceExhausted(
             "memory broker budget exhausted (non-blocking acquire)");
       }
       if (timeout_seconds < 0) {
-        budget_cv_.wait(lock, admissible);
-      } else if (!budget_cv_.wait_until(lock, deadline, admissible)) {
+        budget_cv_.Wait(lock);
+      } else if (!budget_cv_.WaitUntil(lock, deadline) &&
+                 free_ + RevocableLocked() < min_bytes) {
         return Status::DeadlineExceeded(
             "timed out waiting for a memory grant of " +
             std::to_string(min_bytes) + " bytes");
@@ -113,7 +115,7 @@ StatusOr<std::unique_ptr<MemoryGrant>> MemoryBroker::Acquire(
       victim->revokes_.fetch_add(1, std::memory_order_relaxed);
       total_revokes_.fetch_add(1, std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> llock(victim->listener_mu_);
+        MutexLock llock(victim->listener_mu_);
         if (victim->revoke_listener_) {
           notify.emplace_back(victim->revoke_listener_, now_bytes);
         }
@@ -129,7 +131,7 @@ StatusOr<std::unique_ptr<MemoryGrant>> MemoryBroker::Acquire(
 }
 
 void MemoryBroker::ReleaseGrant(MemoryGrant* grant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = std::find(grants_.begin(), grants_.end(), grant);
   HJ_CHECK(it != grants_.end()) << "double release of a memory grant";
   grants_.erase(it);
@@ -151,7 +153,7 @@ void MemoryBroker::RedistributeLocked() {
     g->regrows_.fetch_add(1, std::memory_order_relaxed);
     total_regrows_.fetch_add(1, std::memory_order_relaxed);
   }
-  budget_cv_.notify_all();
+  budget_cv_.NotifyAll();
 }
 
 }  // namespace hashjoin

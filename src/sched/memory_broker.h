@@ -2,15 +2,15 @@
 #define HASHJOIN_SCHED_MEMORY_BROKER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hashjoin {
 
@@ -90,8 +90,8 @@ class MemoryGrant {
   std::atomic<uint64_t> low_watermark_;
   std::atomic<uint64_t> revokes_{0};
   std::atomic<uint64_t> regrows_{0};
-  std::mutex listener_mu_;
-  std::function<void(uint64_t)> revoke_listener_;  // guarded by listener_mu_
+  Mutex listener_mu_;
+  std::function<void(uint64_t)> revoke_listener_ HJ_GUARDED_BY(listener_mu_);
 };
 
 /// Hands out revocable memory grants from one global budget.
@@ -125,7 +125,8 @@ class MemoryBroker {
   /// never succeed); kDeadlineExceeded when the timeout passed first.
   StatusOr<std::unique_ptr<MemoryGrant>> Acquire(uint64_t min_bytes,
                                                  uint64_t desired_bytes,
-                                                 double timeout_seconds = -1);
+                                                 double timeout_seconds = -1)
+      HJ_EXCLUDES(mu_);
 
   uint64_t total_budget() const { return total_budget_; }
 
@@ -147,20 +148,23 @@ class MemoryBroker {
   friend class MemoryGrant;
 
   /// Returns `grant`'s bytes to the pool and redistributes.
-  void ReleaseGrant(MemoryGrant* grant);
+  void ReleaseGrant(MemoryGrant* grant) HJ_EXCLUDES(mu_);
 
   /// Gives free bytes to shrunken grants (oldest first, up to desired)
-  /// and wakes blocked Acquire() calls. Caller holds mu_.
-  void RedistributeLocked();
+  /// and wakes blocked Acquire() calls.
+  void RedistributeLocked() HJ_REQUIRES(mu_);
 
-  /// Sum of revocable surplus (bytes above min) across grants. Holds mu_.
-  uint64_t RevocableLocked() const;
+  /// Sum of revocable surplus (bytes above min) across grants.
+  uint64_t RevocableLocked() const HJ_REQUIRES(mu_);
 
   const uint64_t total_budget_;
-  mutable std::mutex mu_;
-  std::condition_variable budget_cv_;
-  uint64_t free_ = 0;                  // guarded by mu_
-  std::vector<MemoryGrant*> grants_;   // guarded by mu_; acquisition order
+  /// Lock order: mu_ before a grant's listener_mu_ (Acquire revokes a
+  /// victim and snapshots its listener under both).
+  mutable Mutex mu_;
+  CondVar budget_cv_;
+  uint64_t free_ HJ_GUARDED_BY(mu_) = 0;
+  /// Acquisition order (oldest first = re-grow priority).
+  std::vector<MemoryGrant*> grants_ HJ_GUARDED_BY(mu_);
   std::atomic<uint64_t> total_revokes_{0};
   std::atomic<uint64_t> total_regrows_{0};
 };

@@ -70,6 +70,13 @@ struct ServiceStats {
 /// grant, its fair share of the shared worker pool, and the stats record
 /// it should fill. The context (and thus the grant and executor) lives
 /// until the body returns and its pool work is drained.
+///
+/// Deliberately unannotated/unlocked: a QueryContext is owned by
+/// exactly one runner thread for its whole lifetime — the scheduler
+/// constructs it, passes it to the body on that same thread, and drains
+/// the pool group before reading stats back. Morsel tasks reach shared
+/// state only through executor() (the pool's own synchronization) and
+/// grant() (atomics inside MemoryGrant), never through this object.
 class QueryContext {
  public:
   QueryContext(uint64_t query_id, std::string name,

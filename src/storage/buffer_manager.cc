@@ -48,10 +48,10 @@ BufferManager::~BufferManager() {
     auto stop = std::make_unique<Request>();
     stop->type = Request::Type::kStop;
     {
-      std::lock_guard<std::mutex> lock(w->mu);
+      MutexLock lock(w->mu);
       w->queue.push_back(std::move(stop));
     }
-    w->cv.notify_one();
+    w->cv.NotifyOne();
   }
   for (auto& w : disks_) {
     if (w->thread.joinable()) w->thread.join();
@@ -147,8 +147,8 @@ void BufferManager::WorkerLoop(DiskWorker* w) {
   for (;;) {
     std::unique_ptr<Request> req;
     {
-      std::unique_lock<std::mutex> lock(w->mu);
-      w->cv.wait(lock, [&] { return !w->queue.empty(); });
+      MutexLock lock(w->mu);
+      while (w->queue.empty()) w->cv.Wait(lock);
       req = std::move(w->queue.front());
       w->queue.pop_front();
     }
@@ -161,14 +161,17 @@ void BufferManager::WorkerLoop(DiskWorker* w) {
       case Request::Type::kWrite: {
         Status s = WriteWithRetry(w, *req);
         if (!s.ok()) {
-          std::lock_guard<std::mutex> lock(writes_mu_);
+          MutexLock lock(writes_mu_);
           if (first_write_error_.ok()) first_write_error_ = s;
         }
         req->done.set_value(std::move(s));
         uint64_t left = pending_writes_.fetch_sub(1) - 1;
         if (left == 0) {
-          std::lock_guard<std::mutex> lock(writes_mu_);
-          writes_cv_.notify_all();
+          // Taking writes_mu_ before notifying orders this decrement
+          // with FlushWrites' predicate check — without it the notify
+          // could fire between that check and the wait.
+          MutexLock lock(writes_mu_);
+          writes_cv_.NotifyAll();
         }
         break;
       }
@@ -177,13 +180,13 @@ void BufferManager::WorkerLoop(DiskWorker* w) {
 }
 
 BufferManager::FileId BufferManager::CreateFile() {
-  std::lock_guard<std::mutex> lock(files_mu_);
+  MutexLock lock(files_mu_);
   files_.emplace_back();
   return FileId(files_.size() - 1);
 }
 
 uint64_t BufferManager::FileNumPages(FileId file) const {
-  std::lock_guard<std::mutex> lock(files_mu_);
+  MutexLock lock(files_mu_);
   return files_[file].pages.size();
 }
 
@@ -201,7 +204,7 @@ void BufferManager::WritePageAsync(FileId file, uint64_t page_index,
     req->has_crc = true;
   }
   {
-    std::lock_guard<std::mutex> lock(files_mu_);
+    MutexLock lock(files_mu_);
     FileMeta& meta = files_[file];
     if (page_index < meta.pages.size()) {
       req->disk_page = meta.pages[page_index].disk_page;
@@ -209,7 +212,7 @@ void BufferManager::WritePageAsync(FileId file, uint64_t page_index,
     } else {
       HJ_CHECK(page_index == meta.pages.size())
           << "file pages must be written densely";
-      std::lock_guard<std::mutex> wlock(w->mu);
+      MutexLock wlock(w->mu);
       PagePlacement placement;
       placement.disk = disk_id;
       placement.disk_page = w->next_free_page++;
@@ -220,16 +223,16 @@ void BufferManager::WritePageAsync(FileId file, uint64_t page_index,
   }
   pending_writes_.fetch_add(1);
   {
-    std::lock_guard<std::mutex> lock(w->mu);
+    MutexLock lock(w->mu);
     w->queue.push_back(std::move(req));
   }
-  w->cv.notify_one();
+  w->cv.NotifyOne();
 }
 
 Status BufferManager::FlushWrites() {
   WallTimer wait;
-  std::unique_lock<std::mutex> lock(writes_mu_);
-  writes_cv_.wait(lock, [&] { return pending_writes_.load() == 0; });
+  MutexLock lock(writes_mu_);
+  while (pending_writes_.load() != 0) writes_cv_.Wait(lock);
   main_stall_ns_.fetch_add(wait.ElapsedNanos());
   Status s = std::move(first_write_error_);
   first_write_error_ = Status::OK();
@@ -244,7 +247,7 @@ std::future<Status> BufferManager::EnqueueRead(FileId file,
   req->type = Request::Type::kRead;
   req->read_dst = dst;
   {
-    std::lock_guard<std::mutex> lock(files_mu_);
+    MutexLock lock(files_mu_);
     const FileMeta& meta = files_[file];
     HJ_CHECK(page_index < meta.pages.size()) << "read past end of file";
     disk_id = meta.pages[page_index].disk;
@@ -257,10 +260,10 @@ std::future<Status> BufferManager::EnqueueRead(FileId file,
   std::future<Status> fut = req->done.get_future();
   DiskWorker* w = disks_[disk_id].get();
   {
-    std::lock_guard<std::mutex> lock(w->mu);
+    MutexLock lock(w->mu);
     w->queue.push_back(std::move(req));
   }
-  w->cv.notify_one();
+  w->cv.NotifyOne();
   return fut;
 }
 
@@ -284,14 +287,14 @@ void BufferManager::SetReadAheadBudget(std::function<uint64_t()> bytes_fn) {
       bytes_fn ? std::make_shared<const std::function<uint64_t()>>(
                      std::move(bytes_fn))
                : nullptr;
-  std::lock_guard<std::mutex> lock(readahead_mu_);
+  MutexLock lock(readahead_mu_);
   readahead_budget_ = std::move(holder);
 }
 
 uint32_t BufferManager::ReadAheadWindow() {
   std::shared_ptr<const std::function<uint64_t()>> fn;
   {
-    std::lock_guard<std::mutex> lock(readahead_mu_);
+    MutexLock lock(readahead_mu_);
     fn = readahead_budget_;
   }
   uint32_t depth = config_.io_prefetch_depth;

@@ -2,20 +2,20 @@
 #define HASHJOIN_STORAGE_BUFFER_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "storage/disk.h"
 #include "storage/fault_injection.h"
 #include "util/aligned.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace hashjoin {
@@ -93,20 +93,21 @@ class BufferManager {
   BufferManager& operator=(const BufferManager&) = delete;
 
   /// Creates an empty striped file.
-  FileId CreateFile();
+  FileId CreateFile() HJ_EXCLUDES(files_mu_);
 
   /// Appends/overwrites page `page_index`; the data is copied (and
   /// checksummed) synchronously, then written in the background. Pages
   /// of a file must be written densely (the hash join writes partitions
   /// sequentially). Write failures surface at the next FlushWrites.
-  void WritePageAsync(FileId file, uint64_t page_index, const void* data);
+  void WritePageAsync(FileId file, uint64_t page_index, const void* data)
+      HJ_EXCLUDES(files_mu_);
 
   /// Blocks until every queued write has reached its disk. Returns the
   /// first write error since the previous FlushWrites (after retries
   /// were exhausted), OK otherwise.
-  Status FlushWrites();
+  Status FlushWrites() HJ_EXCLUDES(writes_mu_);
 
-  uint64_t FileNumPages(FileId file) const;
+  uint64_t FileNumPages(FileId file) const HJ_EXCLUDES(files_mu_);
 
   /// Sequential scan with read-ahead. Not thread-safe; one user at a time.
   class Scanner {
@@ -166,7 +167,8 @@ class BufferManager {
   /// grant fraction in here so a revoked query also stops hoarding frame
   /// memory. The function is called on the scanning thread per
   /// NextPage(); it must be cheap and thread-safe.
-  void SetReadAheadBudget(std::function<uint64_t()> bytes_fn);
+  void SetReadAheadBudget(std::function<uint64_t()> bytes_fn)
+      HJ_EXCLUDES(readahead_mu_);
 
   /// Times a scan's read-ahead window was clamped below the configured
   /// depth by the budget (cumulative; callers diff snapshots).
@@ -191,11 +193,14 @@ class BufferManager {
   struct DiskWorker {
     std::unique_ptr<FaultInjectingDisk> disk;
     std::thread thread;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::unique_ptr<Request>> queue;
-    uint64_t next_free_page = 0;  // simple sequential allocator
-    AlignedBuffer<uint8_t> verify_scratch;  // write-verify read-back buffer
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::unique_ptr<Request>> queue HJ_GUARDED_BY(mu);
+    /// Simple sequential allocator.
+    uint64_t next_free_page HJ_GUARDED_BY(mu) = 0;
+    /// Write-verify read-back buffer; touched only by the owning worker
+    /// thread, never concurrently (set up before the thread starts).
+    AlignedBuffer<uint8_t> verify_scratch;
   };
 
   struct PagePlacement {
@@ -210,7 +215,7 @@ class BufferManager {
 
   void WorkerLoop(DiskWorker* w);
   /// Frames a scan may keep in flight right now (see SetReadAheadBudget).
-  uint32_t ReadAheadWindow();
+  uint32_t ReadAheadWindow() HJ_EXCLUDES(readahead_mu_);
   Status ReadWithRetry(DiskWorker* w, const Request& req);
   Status WriteWithRetry(DiskWorker* w, const Request& req);
   /// Plain device read retried on transient errors only (no checksum) —
@@ -219,7 +224,7 @@ class BufferManager {
   void Backoff(uint32_t attempt);
 
   std::future<Status> EnqueueRead(FileId file, uint64_t page_index,
-                                  uint8_t* dst);
+                                  uint8_t* dst) HJ_EXCLUDES(files_mu_);
   /// Stripe placement, staggered by file id so that small files (e.g.
   /// hundreds of partition outputs) spread over all disks instead of
   /// piling their first stripes onto disk 0.
@@ -230,19 +235,22 @@ class BufferManager {
 
   BufferManagerConfig config_;
   std::vector<std::unique_ptr<DiskWorker>> disks_;
-  mutable std::mutex files_mu_;
-  std::vector<FileMeta> files_;
+  /// Lock order: files_mu_ before a DiskWorker's mu (WritePageAsync
+  /// allocates a placement under both). No other pair nests.
+  mutable Mutex files_mu_;
+  std::vector<FileMeta> files_ HJ_GUARDED_BY(files_mu_);
   std::atomic<int64_t> main_stall_ns_{0};
   std::atomic<uint64_t> pending_writes_{0};
-  std::mutex writes_mu_;
-  std::condition_variable writes_cv_;
-  Status first_write_error_;  // guarded by writes_mu_
+  Mutex writes_mu_;
+  CondVar writes_cv_;
+  Status first_write_error_ HJ_GUARDED_BY(writes_mu_);
   std::atomic<uint64_t> read_retries_{0};
   std::atomic<uint64_t> write_retries_{0};
   std::atomic<uint64_t> checksum_failures_{0};
   std::atomic<uint64_t> write_verify_failures_{0};
-  mutable std::mutex readahead_mu_;  // guards readahead_budget_
-  std::shared_ptr<const std::function<uint64_t()>> readahead_budget_;
+  mutable Mutex readahead_mu_;
+  std::shared_ptr<const std::function<uint64_t()>> readahead_budget_
+      HJ_GUARDED_BY(readahead_mu_);
   std::atomic<uint64_t> readahead_throttles_{0};
 };
 

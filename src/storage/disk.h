@@ -76,7 +76,7 @@ class SimulatedDisk {
   const DiskConfig& config() const { return config_; }
 
   /// Total seconds this disk spent transferring (its utilization).
-  double busy_seconds() const { return busy_us_ * 1e-6; }
+  double busy_seconds() const { return double(busy_us_) * 1e-6; }
 
  private:
   void ChargeTransfer();

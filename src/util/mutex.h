@@ -1,0 +1,94 @@
+#ifndef HASHJOIN_UTIL_MUTEX_H_
+#define HASHJOIN_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace hashjoin {
+
+/// The project's annotated mutex: a std::mutex carrying the Clang
+/// capability attribute, so -Wthread-safety can check HJ_GUARDED_BY /
+/// HJ_REQUIRES declarations against actual lock/unlock structure. All
+/// shared-state classes (ThreadPool, MemoryBroker, JoinScheduler,
+/// BufferManager) use this instead of std::mutex — tools/hjlint
+/// enforces that no naked std::mutex member exists in src/.
+///
+/// Prefer the scoped MutexLock; call Lock()/Unlock() directly only in
+/// the rare hand-over-hand patterns a scope cannot express.
+class HJ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HJ_ACQUIRE() { mu_.lock(); }
+  void Unlock() HJ_RELEASE() { mu_.unlock(); }
+  bool TryLock() HJ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (std::lock_guard/std::unique_lock equivalent
+/// the analysis understands). Supports temporary release + reacquire —
+/// the scheduler's runner loop drops the admission lock while a query
+/// body runs — which Clang models as a relockable scoped capability.
+class HJ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HJ_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() HJ_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily release / reacquire within the scope. The destructor
+  /// only unlocks if the lock is currently held.
+  void Unlock() HJ_RELEASE() { lock_.unlock(); }
+  void Lock() HJ_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with MutexLock. Wait() releases and
+/// reacquires the underlying mutex internally; from the analysis's view
+/// the capability is held across the call (the standard approximation:
+/// the caller re-checks its predicate in a loop with the lock held).
+///
+/// Predicates are deliberately NOT taken as lambdas: a lambda body is
+/// analyzed as a separate function that does not hold the mutex, so
+/// reading HJ_GUARDED_BY state inside one would trip -Wthread-safety.
+/// Write explicit `while (!pred) cv.Wait(lock);` loops instead — the
+/// reads then happen in the scope that provably holds the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Returns false iff the wait ended because `deadline` passed
+  /// (spurious wakeups and notifications both return true); callers
+  /// re-check their predicate either way.
+  bool WaitUntil(MutexLock& lock,
+                 std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lock.lock_, deadline) ==
+           std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_UTIL_MUTEX_H_

@@ -34,7 +34,12 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A lightweight Status value used instead of exceptions across module
 /// boundaries. OK statuses carry no allocation.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed I/O or admission
+/// error — the fault-injection tests rely on every failure surfacing.
+/// Call sites that genuinely do not care (e.g. best-effort cleanup)
+/// must say so with an explicit `(void)` cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -85,9 +90,10 @@ class Status {
 };
 
 /// A value-or-error wrapper. Accessing value() on an error aborts, so call
-/// sites must check ok() (or status()) first.
+/// sites must check ok() (or status()) first. [[nodiscard]] for the same
+/// reason as Status: an unexamined StatusOr hides the error branch.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
   StatusOr(T value) : value_(std::move(value)) {}          // NOLINT

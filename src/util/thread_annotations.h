@@ -1,0 +1,77 @@
+#ifndef HASHJOIN_UTIL_THREAD_ANNOTATIONS_H_
+#define HASHJOIN_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (HJ_GUARDED_BY,
+/// HJ_REQUIRES, ...), in the style popularized by abseil and the Clang
+/// documentation. Under Clang with -Wthread-safety (wired to the
+/// HASHJOIN_THREAD_SAFETY_ANALYSIS CMake option, default ON) the
+/// annotations turn lock-discipline violations — touching a
+/// HJ_GUARDED_BY member without its mutex, calling an HJ_REQUIRES
+/// function unlocked, double-acquiring — into compile errors. Under
+/// other compilers every macro expands to nothing, so annotated code
+/// stays portable; the annotations then serve as checked documentation
+/// the next Clang build re-verifies.
+///
+/// Annotate with the wrappers in util/mutex.h (`Mutex`, `MutexLock`,
+/// `CondVar`): std::mutex itself carries no capability attribute, so
+/// the analysis cannot see through it (and tools/hjlint rejects naked
+/// std::mutex members in src/ for exactly that reason).
+
+#if defined(__clang__) && defined(__has_attribute)
+#define HJ_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define HJ_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define HJ_CAPABILITY(x) HJ_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define HJ_SCOPED_CAPABILITY HJ_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Data member readable/writable only with the given mutex held.
+#define HJ_GUARDED_BY(x) HJ_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define HJ_PT_GUARDED_BY(x) HJ_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define HJ_ACQUIRED_BEFORE(...) \
+  HJ_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define HJ_ACQUIRED_AFTER(...) \
+  HJ_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability to be held by the caller (and does
+/// not release it).
+#define HJ_REQUIRES(...) \
+  HJ_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability itself.
+#define HJ_ACQUIRE(...) \
+  HJ_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define HJ_RELEASE(...) \
+  HJ_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning the given value.
+#define HJ_TRY_ACQUIRE(...) \
+  HJ_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrant internal locking).
+#define HJ_EXCLUDES(...) \
+  HJ_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by analysis).
+#define HJ_ASSERT_CAPABILITY(x) \
+  HJ_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define HJ_RETURN_CAPABILITY(x) HJ_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: function is exempt from analysis. Use only with a
+/// comment explaining why the analysis cannot express the invariant.
+#define HJ_NO_THREAD_SAFETY_ANALYSIS \
+  HJ_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // HASHJOIN_UTIL_THREAD_ANNOTATIONS_H_

@@ -21,33 +21,49 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::PublishQueued() {
+  // The increment must be ordered with the workers' sleep predicate,
+  // which is evaluated under mu_: an increment outside the lock can
+  // land between a worker's predicate check (saw 0, decided to sleep)
+  // and its park — the notify then fires before the wait begins and the
+  // task is stranded until the next Submit (observed as a Wait()
+  // deadlock). Taking mu_ around the bump forces the increment to
+  // happen either before the predicate check (worker stays awake) or
+  // after the worker parked (notify is delivered).
+  {
+    MutexLock lk(mu_);
+    queued_.fetch_add(1, std::memory_order_release);
+  }
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Submit(Task task) {
   uint32_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
-               queues_.size();
+               uint32_t(queues_.size());
   {
     // pending_ goes up before the task becomes visible, so a fast worker
     // finishing it immediately can never drive the counter below zero.
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++pending_;
   }
   {
-    std::lock_guard<std::mutex> lk(queues_[q]->mu);
+    MutexLock lk(queues_[q]->mu);
     queues_[q]->tasks.push_back(std::move(task));
   }
-  queued_.fetch_add(1, std::memory_order_release);
-  work_cv_.notify_one();
+  PublishQueued();
 }
 
 std::shared_ptr<ThreadPool::TaskGroup> ThreadPool::CreateGroup() {
   auto group = std::make_shared<TaskGroup>();
-  std::lock_guard<std::mutex> lk(groups_mu_);
+  group->pool_ = this;
+  MutexLock lk(groups_mu_);
   groups_.push_back(group);
   return group;
 }
@@ -55,28 +71,27 @@ std::shared_ptr<ThreadPool::TaskGroup> ThreadPool::CreateGroup() {
 void ThreadPool::Submit(const std::shared_ptr<TaskGroup>& group, Task task) {
   HJ_CHECK(group != nullptr);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++pending_;
   }
   {
-    std::lock_guard<std::mutex> lk(groups_mu_);
+    MutexLock lk(groups_mu_);
     group->tasks.push_back(std::move(task));
     ++group->pending;
   }
-  queued_.fetch_add(1, std::memory_order_release);
-  work_cv_.notify_one();
+  PublishQueued();
 }
 
 void ThreadPool::WaitGroup(TaskGroup* group) {
-  std::unique_lock<std::mutex> lk(groups_mu_);
-  group->done_cv.wait(lk, [group] { return group->pending == 0; });
+  MutexLock lk(groups_mu_);
+  while (group->pending != 0) group->done_cv.Wait(lk);
 }
 
 bool ThreadPool::TryGetTask(uint32_t self, Task* out) {
   // Own queue first (front), then steal from the back of the others'.
   {
     WorkerQueue& q = *queues_[self];
-    std::lock_guard<std::mutex> lk(q.mu);
+    MutexLock lk(q.mu);
     if (!q.tasks.empty()) {
       *out = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -86,7 +101,7 @@ bool ThreadPool::TryGetTask(uint32_t self, Task* out) {
   }
   for (size_t i = 1; i < queues_.size(); ++i) {
     WorkerQueue& q = *queues_[(self + i) % queues_.size()];
-    std::lock_guard<std::mutex> lk(q.mu);
+    MutexLock lk(q.mu);
     if (!q.tasks.empty()) {
       *out = std::move(q.tasks.back());
       q.tasks.pop_back();
@@ -99,7 +114,7 @@ bool ThreadPool::TryGetTask(uint32_t self, Task* out) {
 
 std::shared_ptr<ThreadPool::TaskGroup> ThreadPool::TryGetGroupTask(
     Task* out) {
-  std::lock_guard<std::mutex> lk(groups_mu_);
+  MutexLock lk(groups_mu_);
   // Pick the group with the fewest tasks in service among those with
   // queued work — each active group converges to an equal worker share.
   std::shared_ptr<TaskGroup> best;
@@ -124,9 +139,9 @@ std::shared_ptr<ThreadPool::TaskGroup> ThreadPool::TryGetGroupTask(
 }
 
 void ThreadPool::FinishGroupTask(TaskGroup* group) {
-  std::lock_guard<std::mutex> lk(groups_mu_);
+  MutexLock lk(groups_mu_);
   --group->running;
-  if (--group->pending == 0) group->done_cv.notify_all();
+  if (--group->pending == 0) group->done_cv.NotifyAll();
 }
 
 void ThreadPool::WorkerLoop(uint32_t self) {
@@ -141,22 +156,22 @@ void ThreadPool::WorkerLoop(uint32_t self) {
     if (got) {
       task(self);
       if (group != nullptr) FinishGroupTask(group.get());
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       --pending_;
-      if (pending_ == 0) done_cv_.notify_all();
+      if (pending_ == 0) done_cv_.NotifyAll();
       continue;
     }
-    std::unique_lock<std::mutex> lk(mu_);
-    work_cv_.wait(lk, [this] {
-      return stop_ || queued_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lk(mu_);
+    while (!stop_ && queued_.load(std::memory_order_acquire) <= 0) {
+      work_cv_.Wait(lk);
+    }
     if (stop_ && queued_.load(std::memory_order_acquire) <= 0) return;
   }
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [this] { return pending_ == 0; });
+  MutexLock lk(mu_);
+  while (pending_ != 0) done_cv_.Wait(lk);
 }
 
 }  // namespace hashjoin

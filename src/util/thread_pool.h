@@ -2,14 +2,15 @@
 #define HASHJOIN_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace hashjoin {
 
@@ -29,13 +30,28 @@ namespace hashjoin {
 ///    with the fewest tasks currently in service, so the pool's workers
 ///    spread fairly across active groups instead of draining whichever
 ///    query submitted first. WaitGroup() waits for one group only.
+///
+/// Lock discipline (checked by -Wthread-safety under Clang): `mu_`
+/// guards the sleep/wake and completion state, each WorkerQueue's `mu`
+/// guards that deque, and `groups_mu_` guards the group registry plus
+/// every TaskGroup's members. `mu_` and a queue/group mutex are never
+/// held together except queue-after-mu_ in Submit; workers take them
+/// strictly one at a time.
 class ThreadPool {
+ private:
+  // Declared before TaskGroup so the HJ_GUARDED_BY(pool_->groups_mu_)
+  // annotations below name an already-declared member.
+  Mutex groups_mu_;
+
  public:
   using Task = std::function<void(uint32_t worker_id)>;
 
   /// One client's share of a shared pool. Created by CreateGroup();
   /// lifetime is managed by shared_ptr — the pool keeps a weak reference
-  /// and prunes groups that clients dropped.
+  /// and prunes groups that clients dropped. All members are guarded by
+  /// the owning pool's groups_mu_ (one lock for the registry and the
+  /// groups: the fair-share pick must compare queue depths across all
+  /// groups atomically).
   class TaskGroup {
    public:
     TaskGroup() = default;
@@ -44,10 +60,13 @@ class ThreadPool {
 
    private:
     friend class ThreadPool;
-    std::deque<Task> tasks;   // guarded by the pool's groups_mu_
-    uint32_t running = 0;     // tasks currently executing on a worker
-    uint64_t pending = 0;     // queued + running
-    std::condition_variable done_cv;  // signaled when pending hits 0
+    ThreadPool* pool_ = nullptr;  // set once by CreateGroup
+    std::deque<Task> tasks HJ_GUARDED_BY(pool_->groups_mu_);
+    /// Tasks currently executing on a worker.
+    uint32_t running HJ_GUARDED_BY(pool_->groups_mu_) = 0;
+    /// Queued + running.
+    uint64_t pending HJ_GUARDED_BY(pool_->groups_mu_) = 0;
+    CondVar done_cv;  // signaled when pending hits 0
   };
 
   explicit ThreadPool(uint32_t num_threads);
@@ -64,20 +83,21 @@ class ThreadPool {
   /// Enqueues a task. Safe to call from any thread (including from
   /// inside a task); tasks submitted before Wait() returns are covered
   /// by it.
-  void Submit(Task task);
+  void Submit(Task task) HJ_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished executing.
-  void Wait();
+  void Wait() HJ_EXCLUDES(mu_);
 
   /// Registers a new fair-share group on this pool.
-  std::shared_ptr<TaskGroup> CreateGroup();
+  std::shared_ptr<TaskGroup> CreateGroup() HJ_EXCLUDES(groups_mu_);
 
   /// Enqueues a task into `group`. Safe from any thread.
-  void Submit(const std::shared_ptr<TaskGroup>& group, Task task);
+  void Submit(const std::shared_ptr<TaskGroup>& group, Task task)
+      HJ_EXCLUDES(mu_, groups_mu_);
 
   /// Blocks until every task submitted to `group` has finished. Other
   /// groups' tasks are not waited on.
-  void WaitGroup(TaskGroup* group);
+  void WaitGroup(TaskGroup* group) HJ_EXCLUDES(groups_mu_);
 
  private:
   /// One worker's deque. Owner pops the front (LIFO-ish locality does
@@ -85,31 +105,38 @@ class ThreadPool {
   /// which holds the largest still-queued morsels under the
   /// largest-first submission order.
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks HJ_GUARDED_BY(mu);
   };
 
   bool TryGetTask(uint32_t self, Task* out);
   /// Fair group pick: among groups with queued tasks, the one with the
   /// fewest running. Returns the owning group so the worker can retire
   /// the task against it.
-  std::shared_ptr<TaskGroup> TryGetGroupTask(Task* out);
-  void FinishGroupTask(TaskGroup* group);
+  std::shared_ptr<TaskGroup> TryGetGroupTask(Task* out)
+      HJ_EXCLUDES(groups_mu_);
+  void FinishGroupTask(TaskGroup* group) HJ_EXCLUDES(groups_mu_);
   void WorkerLoop(uint32_t self);
+  /// Publishes one enqueued task to sleeping workers: bumps queued_
+  /// under mu_ (the workers' sleep predicate is checked under mu_, so a
+  /// bump outside it could land between a worker's predicate check and
+  /// its park — a lost wakeup) and notifies.
+  void PublishQueued() HJ_EXCLUDES(mu_);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;                  // guards pending_ and the condvars
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  uint64_t pending_ = 0;           // submitted but not yet finished
-  std::atomic<int64_t> queued_{0};  // submitted but not yet dequeued
+  Mutex mu_;  // guards pending_/stop_ and orders queued_ with the condvars
+  CondVar work_cv_;
+  CondVar done_cv_;
+  uint64_t pending_ HJ_GUARDED_BY(mu_) = 0;  // submitted, not yet finished
+  /// Submitted but not yet dequeued. Atomic so TryGetTask can decrement
+  /// without mu_, but *increments* happen under mu_ (see PublishQueued).
+  std::atomic<int64_t> queued_{0};
   std::atomic<uint32_t> next_queue_{0};
-  bool stop_ = false;
+  bool stop_ HJ_GUARDED_BY(mu_) = false;
 
-  std::mutex groups_mu_;           // guards groups_ and their members
-  std::vector<std::weak_ptr<TaskGroup>> groups_;
+  std::vector<std::weak_ptr<TaskGroup>> groups_ HJ_GUARDED_BY(groups_mu_);
 };
 
 /// The executor handle the join code paths run on: either a private pool

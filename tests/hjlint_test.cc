@@ -1,0 +1,261 @@
+// Rule-level fixtures for tools/hjlint: each known-bad snippet must
+// fire exactly its rule, the idiomatic kernels must stay silent, and
+// the real source tree must lint clean (the same invariant `ctest -L
+// lint` enforces through the hjlint_tree test, checked here through the
+// library API so a regression pinpoints the rule).
+
+#include "hjlint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hashjoin {
+namespace hjlint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& path, const std::string& src) {
+  return LintFile(path, src, {});
+}
+
+bool HasRule(const std::vector<Finding>& fs, const std::string& rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// --- spp-ring-power-of-two ------------------------------------------
+
+TEST(HjlintRingTest, FlagsRingWithoutPowerOfTwoRounding) {
+  // The classic bug: sizing the ring exactly (stages*D + 1 slots) makes
+  // states[j & mask] alias wrong slots whenever the size is not a power
+  // of two.
+  auto fs = Lint("src/join/bad.h",
+                "void Kernel() {\n"
+                "  const uint64_t ring = kStages * d + 1;\n"
+                "  const uint64_t mask = ring - 1;\n"
+                "}\n");
+  ASSERT_TRUE(HasRule(fs, "spp-ring-power-of-two"));
+  EXPECT_EQ(fs[0].line, 2u);
+}
+
+TEST(HjlintRingTest, FlagsRingWithoutPlusOneSlack) {
+  auto fs = Lint("src/join/bad.h",
+                "  const uint64_t ring = NextPowerOfTwo(kStages * d);\n");
+  EXPECT_TRUE(HasRule(fs, "spp-ring-power-of-two"));
+}
+
+TEST(HjlintRingTest, FlagsMaskThatIsNotRingMinusOne) {
+  auto fs = Lint("src/join/bad.h",
+                "  const uint64_t ring = NextPowerOfTwo(kStages * d + 1);\n"
+                "  const uint64_t mask = ring;\n");
+  ASSERT_TRUE(HasRule(fs, "spp-ring-power-of-two"));
+  EXPECT_EQ(fs[0].line, 2u);
+}
+
+TEST(HjlintRingTest, AcceptsTheProjectIdiom) {
+  auto fs = Lint("src/join/good.h",
+                "  const uint64_t ring = NextPowerOfTwo(kStages * d + 1);\n"
+                "  const uint64_t mask = ring - 1;\n"
+                "  std::vector<ProbeState> states(ring);\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(HjlintRingTest, IgnoresComparisonsAndComments) {
+  auto fs = Lint("src/join/good.h",
+                "  // ring = whatever, this is prose\n"
+                "  if (ring == 8) { }\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// --- prefetch-stage-discipline --------------------------------------
+
+TEST(HjlintPrefetchTest, FlagsDerefInSameStage) {
+  // Prefetch immediately followed by the dereference: the miss has no
+  // work to hide behind (the §3 pointer-chasing anti-pattern).
+  auto fs = Lint("src/join/bad.h",
+                "inline void Stage1(State& st) {\n"
+                "  mm.Prefetch(st.bucket, sizeof(BucketHeader));\n"
+                "  uint32_t n = st.bucket->count;\n"
+                "}\n");
+  ASSERT_TRUE(HasRule(fs, "prefetch-stage-discipline"));
+  EXPECT_EQ(fs[0].line, 3u);
+}
+
+TEST(HjlintPrefetchTest, FlagsBuiltinPrefetchDeref) {
+  auto fs = Lint("src/join/bad.h",
+                "void F(Node* p) {\n"
+                "  __builtin_prefetch(p, 0, 3);\n"
+                "  use(*p);\n"
+                "}\n");
+  EXPECT_TRUE(HasRule(fs, "prefetch-stage-discipline"));
+}
+
+TEST(HjlintPrefetchTest, AcceptsPrefetchConsumedInLaterStage) {
+  // The project idiom: stage k prefetches, the *next function* (stage
+  // k+1, a separate top-level definition) dereferences.
+  auto fs = Lint("src/join/good.h",
+                "inline void Stage1(State& st) {\n"
+                "  mm.Prefetch(st.bucket, sizeof(BucketHeader));\n"
+                "}\n"
+                "inline void Stage2(State& st) {\n"
+                "  uint32_t n = st.bucket->count;\n"
+                "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(HjlintPrefetchTest, IgnoresDeclarationsAndRanges) {
+  auto fs = Lint("src/mem/prefetch.h",
+                "inline void PrefetchRead(const void* addr) {\n"
+                "  __builtin_prefetch(addr, 0, 3);\n"
+                "}\n"
+                "inline void PrefetchRange(const void* addr, size_t n) {\n"
+                "  const uint8_t* p = (const uint8_t*)addr;\n"
+                "  for (; p < end; p += 64) PrefetchRead(p);\n"
+                "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// --- dropped-status --------------------------------------------------
+
+TEST(HjlintDroppedStatusTest, FlagsBareFlushWrites) {
+  auto fs = Lint("src/join/bad.cc",
+                "void F(BufferManager& bm) {\n"
+                "  bm.FlushWrites();\n"
+                "}\n");
+  ASSERT_TRUE(HasRule(fs, "dropped-status"));
+  EXPECT_EQ(fs[0].line, 2u);
+}
+
+TEST(HjlintDroppedStatusTest, FlagsBareNextPageThroughPointer) {
+  auto fs = Lint("src/join/bad.cc",
+                "void F(Scanner* scan) {\n"
+                "  scan->NextPage(&page);\n"
+                "}\n");
+  EXPECT_TRUE(HasRule(fs, "dropped-status"));
+}
+
+TEST(HjlintDroppedStatusTest, AcceptsConsumedStatus) {
+  auto fs = Lint("src/join/good.cc",
+                "Status F(BufferManager& bm, Scanner& scan) {\n"
+                "  Status st = bm.FlushWrites();\n"
+                "  HJ_RETURN_IF_ERROR(scan.NextPage(&page));\n"
+                "  if (!bm.FlushWrites().ok()) return st;\n"
+                "  return bm.FlushWrites();\n"
+                "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(HjlintDroppedStatusTest, AcceptsVoidWritePageAsync) {
+  // WritePageAsync returns void by design (errors surface at
+  // FlushWrites); only the exact Status-returning names are watched.
+  auto fs = Lint("src/join/good.cc",
+                "void F(BufferManager& bm) {\n"
+                "  bm.WritePageAsync(file, p, page.data());\n"
+                "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// --- raw-mutex-primitive ---------------------------------------------
+
+TEST(HjlintRawMutexTest, FlagsStdMutexMemberUnderSrc) {
+  auto fs = Lint("src/sched/bad.h",
+                "class C {\n"
+                "  std::mutex mu_;\n"
+                "  std::condition_variable cv_;\n"
+                "};\n");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "raw-mutex-primitive");
+  EXPECT_EQ(fs[0].line, 2u);
+  EXPECT_EQ(fs[1].line, 3u);
+}
+
+TEST(HjlintRawMutexTest, FlagsRaiiHelpersToo) {
+  auto fs = Lint("src/storage/bad.cc",
+                "void F() { std::lock_guard<std::mutex> l(mu_); }\n");
+  EXPECT_TRUE(HasRule(fs, "raw-mutex-primitive"));
+}
+
+TEST(HjlintRawMutexTest, ExemptsTheWrapperItself) {
+  auto fs = Lint("src/util/mutex.h", "  std::mutex mu_;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(HjlintRawMutexTest, IgnoresFilesOutsideSrc) {
+  // Tests and benches may use raw primitives (e.g. to provoke races on
+  // purpose); the annotated layer is mandatory for src/ only.
+  auto fs = Lint("tests/sched_test.cc", "  std::mutex mu;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// --- bench-schema-sync -----------------------------------------------
+
+TEST(HjlintBenchSchemaTest, FlagsKeyTheReporterNeverEmits) {
+  auto fs = LintBenchSchema(
+      "tools/bench_diff.cc",
+      "  const JsonValue* v = rec.Find(\"wall_sconds\");\n",  // typo
+      "src/perf/bench_reporter.cc",
+      "  record.Set(\"wall_seconds\", std::move(w));\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "bench-schema-sync");
+  EXPECT_NE(fs[0].message.find("wall_sconds"), std::string::npos);
+}
+
+TEST(HjlintBenchSchemaTest, ChecksEveryDottedPathComponent) {
+  auto fs = LintBenchSchema(
+      "tools/bench_diff.cc",
+      "  const JsonValue* v = rec.FindPath(\"wall_seconds.median\");\n",
+      "src/perf/bench_reporter.cc",
+      "  obj.Set(\"wall_seconds\", JsonValue());\n");  // no "median"
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0].message.find("median"), std::string::npos);
+}
+
+TEST(HjlintBenchSchemaTest, AcceptsMatchingSchemas) {
+  auto fs = LintBenchSchema(
+      "tools/bench_diff.cc",
+      "  rec.Find(\"name\");\n  rec.FindPath(\"wall_seconds.median\");\n",
+      "src/perf/bench_reporter.cc",
+      "  r.Set(\"name\", n);\n  w.Set(\"median\", m);\n"
+      "  r.Set(\"wall_seconds\", std::move(w));\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// --- JSON report and the real tree -----------------------------------
+
+TEST(HjlintReportTest, JsonShapeMatchesContract) {
+  std::vector<Finding> fs = {
+      {"dropped-status", "src/a.cc", 7, "discarded"}};
+  JsonValue doc = FindingsToJson(fs);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("count")->AsInt(), 1);
+  const JsonValue* arr = doc.Find("findings");
+  ASSERT_TRUE(arr != nullptr && arr->is_array());
+  EXPECT_EQ(arr->at(0).Find("rule")->AsString(), "dropped-status");
+  EXPECT_EQ(arr->at(0).Find("file")->AsString(), "src/a.cc");
+  EXPECT_EQ(arr->at(0).Find("line")->AsInt(), 7);
+}
+
+TEST(HjlintTreeTest, RealSourceTreeIsClean) {
+  const std::string root = HJLINT_SOURCE_DIR;
+  std::vector<Finding> fs = LintTree(
+      {root + "/src", root + "/bench", root + "/tools", root + "/examples"},
+      root, {});
+  for (const Finding& f : fs) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+TEST(HjlintTreeTest, RuleFilterRestrictsChecks) {
+  // Only the requested rule runs: the raw-mutex fixture stays silent
+  // when linting for dropped-status.
+  auto fs = LintFile("src/sched/bad.h", "  std::mutex mu_;\n",
+                     {"dropped-status"});
+  EXPECT_TRUE(fs.empty());
+}
+
+}  // namespace
+}  // namespace hjlint
+}  // namespace hashjoin

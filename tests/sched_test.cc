@@ -58,6 +58,40 @@ TEST(TaskGroupTest, GroupAndLegacySubmissionsCoexist) {
   EXPECT_EQ(legacy_count.load(), 100);
 }
 
+TEST(ThreadPoolTest, SubmitNotifyCannotLoseWakeups) {
+  // Regression test for a lost-wakeup race in ThreadPool::Submit: the
+  // workers' sleep predicate (queued_) used to be bumped *outside* the
+  // pool mutex before notify_one, so a worker that had just evaluated
+  // the predicate under the lock — but not yet parked — could miss the
+  // notification and strand the task, deadlocking Wait(). The fix
+  // (PublishQueued) publishes the increment under the mutex. This
+  // stresses the exact window: many rounds of a single fast task
+  // against a single worker that is constantly crossing the
+  // check-then-park edge. Before the fix, this hung within a few
+  // hundred rounds; the alarm thread turns a hang into a failure.
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  std::atomic<bool> finished{false};
+  std::thread alarm([&] {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(60);
+    while (!finished.load()) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "ThreadPool::Wait() hung — lost wakeup in Submit";
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  constexpr int kRounds = 3000;
+  for (int i = 0; i < kRounds; ++i) {
+    pool.Submit(
+        [&](uint32_t) { done.fetch_add(1, std::memory_order_relaxed); });
+    pool.Wait();
+  }
+  finished.store(true);
+  alarm.join();
+  EXPECT_EQ(done.load(), kRounds);
+}
+
 TEST(PoolExecutorTest, SharedPoolServesManyExecutors) {
   ThreadPool pool(4);
   std::atomic<int> total{0};

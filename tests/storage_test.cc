@@ -245,7 +245,7 @@ TEST(SimulatedDiskTest, TracksBusyTime) {
   cfg.request_latency_us = 10;
   SimulatedDisk disk(cfg);
   std::vector<uint8_t> page(cfg.page_size, 1);
-  disk.WritePage(0, page.data());
+  ASSERT_TRUE(disk.WritePage(0, page.data()).ok());
   EXPECT_GT(disk.busy_seconds(), 0.0);
 }
 
@@ -279,7 +279,7 @@ TEST_F(BufferManagerTest, WriteThenScanRoundTrips) {
     std::memset(page.data(), int(p), page.size());
     bm.WritePageAsync(file, p, page.data());
   }
-  bm.FlushWrites();
+  ASSERT_TRUE(bm.FlushWrites().ok());
   EXPECT_EQ(bm.FileNumPages(file), n);
 
   auto scan = bm.OpenScan(file);
@@ -301,7 +301,7 @@ TEST_F(BufferManagerTest, MultipleFilesIndependent) {
   bm.WritePageAsync(f1, 0, page.data());
   std::memset(page.data(), 0x22, page.size());
   bm.WritePageAsync(f2, 0, page.data());
-  bm.FlushWrites();
+  ASSERT_TRUE(bm.FlushWrites().ok());
   auto s1 = bm.OpenScan(f1);
   auto s2 = bm.OpenScan(f2);
   EXPECT_EQ(MustNext(s1)[0], 0x11);
@@ -322,7 +322,7 @@ TEST_F(BufferManagerTest, StripesAcrossDisks) {
   std::vector<uint8_t> page(cfg.disk.page_size, 1);
   // 32 pages over 4 disks with 4-page stripes: 8 pages per disk.
   for (uint32_t p = 0; p < 32; ++p) bm.WritePageAsync(file, p, page.data());
-  bm.FlushWrites();
+  ASSERT_TRUE(bm.FlushWrites().ok());
   // All pages must read back; striping itself is internal, but busy time
   // should be spread (max per-disk busy < total would be with 1 disk).
   auto scan = bm.OpenScan(file);
@@ -338,7 +338,7 @@ TEST_F(BufferManagerTest, TracksMainStall) {
   auto file = bm.CreateFile();
   std::vector<uint8_t> page(cfg.disk.page_size, 1);
   for (uint32_t p = 0; p < 16; ++p) bm.WritePageAsync(file, p, page.data());
-  bm.FlushWrites();
+  ASSERT_TRUE(bm.FlushWrites().ok());
   auto scan = bm.OpenScan(file);
   while (MustNext(scan) != nullptr) {
   }

@@ -1,0 +1,119 @@
+// hjlint — project-invariant linter for the hash-join codebase.
+//
+// Usage:
+//   hjlint [--json=PATH] [--rules=a,b,...] [--root=DIR] PATH...
+//
+// PATH arguments are files or directories (recursed over .h/.cc/.cpp).
+// Exit status: 0 = clean, 1 = findings, 2 = usage/I/O error. With
+// --json, the findings are also written as a JSON document (always,
+// even when empty, so CI can archive the report unconditionally).
+//
+// The rules are the invariants the compiler cannot see:
+// prefetch-pipeline structure (ring sizing, stage discipline), Status
+// hygiene, and the annotated-mutex layer. See tools/hjlint/lint.h.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hjlint/lint.h"
+#include "util/json_writer.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: hjlint [--json=PATH] [--rules=a,b] [--root=DIR] "
+               "PATH...\n\nrules:\n");
+  for (const std::string& r : hashjoin::hjlint::AllRules()) {
+    std::fprintf(stderr, "  %s\n", r.c_str());
+  }
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string root = ".";
+  std::vector<std::string> rules;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      rules = SplitCommas(arg.substr(8));
+      for (const std::string& r : rules) {
+        const auto& all = hashjoin::hjlint::AllRules();
+        if (std::find(all.begin(), all.end(), r) == all.end()) {
+          std::fprintf(stderr, "hjlint: unknown rule '%s'\n", r.c_str());
+          Usage();
+          return 2;
+        }
+      }
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "hjlint: unknown flag '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    Usage();
+    return 2;
+  }
+
+  std::vector<hashjoin::hjlint::Finding> findings =
+      hashjoin::hjlint::LintTree(paths, root, rules);
+
+  bool io_error = false;
+  for (const auto& f : findings) {
+    if (f.rule == "io") io_error = true;
+    std::fprintf(stderr, "%s:%u: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+
+  if (!json_path.empty()) {
+    hashjoin::Status s = hashjoin::WriteJsonFile(
+        json_path, hashjoin::hjlint::FindingsToJson(findings));
+    if (!s.ok()) {
+      std::fprintf(stderr, "hjlint: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  if (io_error) return 2;
+  if (!findings.empty()) return 1;
+  std::printf("hjlint: clean (%zu rule%s over %zu path%s)\n",
+              rules.empty() ? hashjoin::hjlint::AllRules().size()
+                            : rules.size(),
+              (rules.empty() ? hashjoin::hjlint::AllRules().size()
+                             : rules.size()) == 1
+                  ? ""
+                  : "s",
+              paths.size(), paths.size() == 1 ? "" : "s");
+  return 0;
+}

@@ -1,0 +1,673 @@
+#include "hjlint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace hashjoin {
+namespace hjlint {
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexical preprocessing. hjlint is a lexical linter: it works on a
+// "code view" of each file where comments and string/char literals are
+// blanked out (replaced by spaces, so line/column positions survive).
+// That is enough for the project-invariant rules here and keeps the
+// tool dependency-free; anything needing real semantics belongs in the
+// compiler (thread-safety analysis) instead.
+// ---------------------------------------------------------------------
+
+std::string BlankCommentsAndStrings(const std::string& src) {
+  std::string out = src;
+  enum class S { kCode, kLineComment, kBlockComment, kString, kChar };
+  S s = S::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    char c = out[i];
+    char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (s) {
+      case S::kCode:
+        if (c == '/' && next == '/') {
+          s = S::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          s = S::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          s = S::kString;
+        } else if (c == '\'') {
+          s = S::kChar;
+        }
+        break;
+      case S::kLineComment:
+        if (c == '\n') {
+          s = S::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case S::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          s = S::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case S::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          s = S::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case S::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          s = S::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Strip(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Position of identifier `word` in `line` at or after `from`, with
+/// word boundaries on both sides; npos when absent.
+size_t FindWord(const std::string& line, const std::string& word,
+                size_t from = 0) {
+  for (size_t p = line.find(word, from); p != std::string::npos;
+       p = line.find(word, p + 1)) {
+    bool left_ok = p == 0 || !IsIdentChar(line[p - 1]);
+    bool right_ok =
+        p + word.size() >= line.size() || !IsIdentChar(line[p + word.size()]);
+    if (left_ok && right_ok) return p;
+  }
+  return std::string::npos;
+}
+
+bool RuleEnabled(const std::vector<std::string>& rules,
+                 const std::string& id) {
+  return rules.empty() ||
+         std::find(rules.begin(), rules.end(), id) != rules.end();
+}
+
+// ---------------------------------------------------------------------
+// Rule: spp-ring-power-of-two
+//
+// The GP/SPP kernels index their in-flight state array with bit
+// masking: states[j & mask]. That is only correct when the ring size is
+// a power of two at least stages*D + 1 (Theorems 1 and 2 size the
+// pipeline; the mask requires the power of two). The project idiom is
+//     ring = NextPowerOfTwo(<stages * d> + 1);
+//     mask = ring - 1;
+// and this rule pins both halves: a `ring =` initializer must round up
+// through NextPowerOfTwo and must add the +1 slack slot, and a `mask =`
+// within the next few lines must be exactly ring - 1.
+// ---------------------------------------------------------------------
+
+void CheckRingRule(const std::string& path,
+                   const std::vector<std::string>& code_lines,
+                   std::vector<Finding>* findings) {
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    size_t rpos = FindWord(line, "ring");
+    if (rpos == std::string::npos) continue;
+    // Only assignments/initializations: `ring =` but not `ring ==`.
+    size_t after = line.find_first_not_of(" \t", rpos + 4);
+    if (after == std::string::npos || line[after] != '=' ||
+        (after + 1 < line.size() && line[after + 1] == '=')) {
+      continue;
+    }
+    std::string rhs = Strip(line.substr(after + 1));
+    if (rhs.find("NextPowerOfTwo(") == std::string::npos) {
+      findings->push_back(
+          {"spp-ring-power-of-two", path, uint32_t(i + 1),
+           "state-ring size must round up via NextPowerOfTwo(...) so the "
+           "bit-mask indexing of states[j & mask] is valid; got: " +
+               rhs});
+    } else if (rhs.find("+ 1)") == std::string::npos &&
+               rhs.find("+1)") == std::string::npos) {
+      findings->push_back(
+          {"spp-ring-power-of-two", path, uint32_t(i + 1),
+           "state ring must hold stages*D + 1 slots (the +1 keeps the "
+           "issue slot disjoint from the drain slots); got: " +
+               rhs});
+    }
+    // The companion mask must be ring - 1 (within the next few lines).
+    for (size_t j = i + 1; j < code_lines.size() && j <= i + 5; ++j) {
+      const std::string& mline = code_lines[j];
+      size_t mpos = FindWord(mline, "mask");
+      if (mpos == std::string::npos) continue;
+      size_t meq = mline.find_first_not_of(" \t", mpos + 4);
+      if (meq == std::string::npos || mline[meq] != '=' ||
+          (meq + 1 < mline.size() && mline[meq + 1] == '=')) {
+        continue;
+      }
+      std::string mrhs = Strip(mline.substr(meq + 1));
+      if (!mrhs.empty() && mrhs.back() == ';') {
+        mrhs = Strip(mrhs.substr(0, mrhs.size() - 1));
+      }
+      if (mrhs != "ring - 1" && mrhs != "ring-1") {
+        findings->push_back(
+            {"spp-ring-power-of-two", path, uint32_t(j + 1),
+             "state-ring mask must be `ring - 1` (power-of-two bit "
+             "mask); got: " +
+                 mrhs});
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: prefetch-stage-discipline
+//
+// The whole point of group prefetching / software pipelining is that an
+// address prefetched in stage k is dereferenced in stage k+1 — a later
+// call, after enough other work has hidden the miss. Prefetching an
+// address and touching it a few lines down in the same function is the
+// just-in-time anti-pattern of §3 (the prefetch has no time to
+// overlap). This rule extracts the first argument of every
+// Prefetch*/__builtin_prefetch call and flags a dereference of that
+// same expression (EXPR->, *EXPR, EXPR[) later in the same function.
+//
+// Functions are approximated as the spans between column-0 `}` lines —
+// exact for the project's kernel headers, conservative elsewhere.
+// ---------------------------------------------------------------------
+
+struct PrefetchCall {
+  size_t line_idx;
+  std::string arg;  // first argument, whitespace-normalized
+};
+
+std::string NormalizeExpr(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c != ' ' && c != '\t') out.push_back(c);
+  }
+  return out;
+}
+
+/// True when the extracted "argument" is really a parameter declaration
+/// (`const void* addr`) — i.e. the Prefetch token was a function
+/// definition/declaration, not a call site.
+bool LooksLikeParamDecl(const std::string& arg) {
+  // Two identifiers separated by space/pointer tokens, e.g.
+  // "const void* addr", "uint64_t line_addr", "const void *p".
+  size_t sp = arg.find_last_of(" *&");
+  if (sp == std::string::npos || sp + 1 >= arg.size()) return false;
+  std::string last = arg.substr(sp + 1);
+  std::string head = Strip(arg.substr(0, sp + 1));
+  if (head.empty()) return false;
+  if (!IsIdentChar(last[0]) || std::isdigit(static_cast<unsigned char>(last[0])))
+    return false;
+  // The head must itself end in an identifier or pointer/ref token —
+  // a cast like "(const uint8_t*)p" has ')' there and is a call arg.
+  char tail = head.back();
+  return IsIdentChar(tail) || tail == '*' || tail == '&';
+}
+
+/// Extracts the first argument of a call whose '(' is at `open`;
+/// returns false when the parens do not balance on this line span.
+bool FirstArg(const std::string& text, size_t open, std::string* arg) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+      if (depth == 0) {
+        *arg = Strip(text.substr(open + 1, i - open - 1));
+        return true;
+      }
+    } else if (c == ',' && depth == 1) {
+      *arg = Strip(text.substr(open + 1, i - open - 1));
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckPrefetchRule(const std::string& path,
+                       const std::vector<std::string>& code_lines,
+                       std::vector<Finding>* findings) {
+  static const char* kPrefetchNames[] = {
+      "Prefetch", "PrefetchRead", "PrefetchWrite", "PrefetchRange",
+      "__builtin_prefetch"};
+
+  size_t seg_begin = 0;
+  while (seg_begin < code_lines.size()) {
+    // A segment ends at the next column-0 `}` (function/namespace end).
+    size_t seg_end = seg_begin;
+    while (seg_end < code_lines.size() &&
+           !(code_lines[seg_end].size() >= 1 && code_lines[seg_end][0] == '}')) {
+      ++seg_end;
+    }
+
+    std::vector<PrefetchCall> calls;
+    for (size_t i = seg_begin; i < seg_end; ++i) {
+      const std::string& line = code_lines[i];
+      for (const char* name : kPrefetchNames) {
+        for (size_t p = FindWord(line, name); p != std::string::npos;
+             p = FindWord(line, name, p + 1)) {
+          // Declarations have a type token directly before the name
+          // ("void PrefetchRead("); call sites are preceded by '.',
+          // '->', start of line, or punctuation.
+          size_t before = line.find_last_not_of(" \t", p == 0 ? 0 : p - 1);
+          if (p > 0 && before != std::string::npos &&
+              IsIdentChar(line[before])) {
+            continue;  // `void Prefetch(` — a declaration
+          }
+          size_t open = line.find_first_not_of(" \t", p + std::strlen(name));
+          if (open == std::string::npos || line[open] != '(') continue;
+          // Join continuation lines so multi-line calls parse.
+          std::string span = line;
+          size_t extra = i + 1;
+          std::string arg;
+          size_t open_in_span = open;
+          while (!FirstArg(span, open_in_span, &arg) &&
+                 extra < seg_end && extra < i + 4) {
+            span += ' ';
+            span += code_lines[extra++];
+          }
+          if (arg.empty()) continue;
+          if (LooksLikeParamDecl(arg)) continue;
+          calls.push_back({i, NormalizeExpr(arg)});
+        }
+      }
+    }
+
+    for (const PrefetchCall& call : calls) {
+      if (call.arg.empty()) continue;
+      // Compound expressions (arithmetic on the pointer) never re-appear
+      // verbatim as dereferences; skip them instead of guessing.
+      if (call.arg.find('+') != std::string::npos ||
+          call.arg.find('(') != std::string::npos) {
+        continue;
+      }
+      for (size_t i = call.line_idx + 1; i < seg_end; ++i) {
+        const std::string norm = NormalizeExpr(code_lines[i]);
+        auto deref_at = [&](size_t pos) {
+          // Word boundary on the left, then `->`, `[`, or leading `*`.
+          bool left_ok = pos == 0 || !IsIdentChar(norm[pos - 1]);
+          if (!left_ok) return false;
+          size_t end = pos + call.arg.size();
+          if (end + 1 < norm.size() && norm[end] == '-' && norm[end + 1] == '>')
+            return true;
+          if (end < norm.size() && norm[end] == '[') return true;
+          if (pos > 0 && norm[pos - 1] == '*' &&
+              (pos == 1 || !IsIdentChar(norm[pos - 2])))
+            return true;
+          return false;
+        };
+        bool hit = false;
+        for (size_t p = norm.find(call.arg); p != std::string::npos;
+             p = norm.find(call.arg, p + 1)) {
+          if (deref_at(p)) {
+            hit = true;
+            break;
+          }
+        }
+        if (hit) {
+          findings->push_back(
+              {"prefetch-stage-discipline", path, uint32_t(i + 1),
+               "`" + call.arg + "` was prefetched on line " +
+                   std::to_string(call.line_idx + 1) +
+                   " and dereferenced in the same stage — the dereference "
+                   "belongs in the next pipeline stage, or the prefetch "
+                   "hides nothing"});
+          break;  // one finding per prefetch call is enough
+        }
+      }
+    }
+    seg_begin = seg_end + 1;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: dropped-status
+//
+// [[nodiscard]] + -Werror=unused-result already enforce this in the
+// build; the lint rule keeps the invariant visible to code review (and
+// to editors without the project flags). A ReadPage/WritePage/
+// FlushWrites/NextPage call standing alone as a statement throws away
+// the Status that carries I/O failures.
+// ---------------------------------------------------------------------
+
+void CheckDroppedStatusRule(const std::string& path,
+                            const std::vector<std::string>& code_lines,
+                            std::vector<Finding>* findings) {
+  static const char* kStatusCalls[] = {"ReadPage", "WritePage",
+                                       "FlushWrites", "NextPage"};
+  std::string prev_code;  // last non-blank code line before the current
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string stripped = Strip(code_lines[i]);
+    if (stripped.empty()) continue;
+    std::string prev = prev_code;
+    prev_code = stripped;
+
+    // Only statement starts: the previous line must have ended a
+    // statement/block, otherwise we are mid-expression (assignment or
+    // argument continuation) and the value is consumed.
+    if (!prev.empty()) {
+      char t = prev.back();
+      if (t != ';' && t != '{' && t != '}' && t != ':') continue;
+    }
+
+    // The call chain must open the line: `obj.FlushWrites(`,
+    // `ptr->NextPage(`, or a bare `FlushWrites(`.
+    size_t pos = 0;
+    while (pos < stripped.size() &&
+           (IsIdentChar(stripped[pos]) || stripped[pos] == '.' ||
+            stripped[pos] == ':' ||
+            (stripped[pos] == '-' && pos + 1 < stripped.size() &&
+             stripped[pos + 1] == '>') ||
+            stripped[pos] == '>')) {
+      ++pos;
+    }
+    std::string head = stripped.substr(0, pos);
+    const char* which = nullptr;
+    for (const char* name : kStatusCalls) {
+      size_t at = head.rfind(name);
+      if (at != std::string::npos && at + std::strlen(name) == head.size() &&
+          (at == 0 || !IsIdentChar(head[at - 1]))) {
+        which = name;
+        break;
+      }
+    }
+    if (which == nullptr) continue;
+    size_t open = stripped.find_first_not_of(" \t", pos);
+    if (open == std::string::npos || stripped[open] != '(') continue;
+
+    // Find the matching close paren (joining continuation lines) and
+    // require the statement to end right there — `.ok()` or any other
+    // consumption after the close exonerates the call.
+    std::string span = stripped;
+    size_t extra = i + 1;
+    int depth = 0;
+    size_t close = std::string::npos;
+    for (size_t guard = 0; guard < 8; ++guard) {
+      for (size_t k = open; k < span.size(); ++k) {
+        if (span[k] == '(') ++depth;
+        if (span[k] == ')' && --depth == 0) {
+          close = k;
+          break;
+        }
+      }
+      if (close != std::string::npos || extra >= code_lines.size()) break;
+      span += ' ';
+      span += Strip(code_lines[extra++]);
+      depth = 0;
+    }
+    if (close == std::string::npos) continue;
+    size_t after = span.find_first_not_of(" \t", close + 1);
+    if (after != std::string::npos && span[after] == ';') {
+      findings->push_back(
+          {"dropped-status", path, uint32_t(i + 1),
+           std::string(which) +
+               "() returns a Status that this statement discards — "
+               "check it (or the I/O error vanishes)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: raw-mutex-primitive
+//
+// Thread-safety analysis only sees lock state through the annotated
+// capability types. A raw std::mutex (or lock/cv helper) under src/
+// is invisible to the analysis, so every locking site must go through
+// util/mutex.h's Mutex/MutexLock/CondVar.
+// ---------------------------------------------------------------------
+
+bool RawMutexExemptFile(const std::string& path) {
+  return path.find("util/mutex.h") != std::string::npos ||
+         path.find("util/thread_annotations.h") != std::string::npos;
+}
+
+bool UnderSrc(const std::string& path) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  return norm.rfind("src/", 0) == 0 || norm.find("/src/") != std::string::npos;
+}
+
+void CheckRawMutexRule(const std::string& path,
+                       const std::vector<std::string>& code_lines,
+                       std::vector<Finding>* findings) {
+  if (!UnderSrc(path) || RawMutexExemptFile(path)) return;
+  static const char* kPrimitives[] = {
+      "std::mutex",          "std::recursive_mutex",
+      "std::shared_mutex",   "std::timed_mutex",
+      "std::lock_guard",     "std::unique_lock",
+      "std::scoped_lock",    "std::shared_lock",
+      "std::condition_variable", "std::condition_variable_any"};
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    for (const char* prim : kPrimitives) {
+      size_t p = code_lines[i].find(prim);
+      if (p == std::string::npos) continue;
+      // `std::condition_variable` is a prefix of `_any`; the exact-match
+      // guard also skips identifiers like std::mutex_like.
+      size_t end = p + std::strlen(prim);
+      if (end < code_lines[i].size() && IsIdentChar(code_lines[i][end]))
+        continue;
+      findings->push_back(
+          {"raw-mutex-primitive", path, uint32_t(i + 1),
+           std::string(prim) +
+               " bypasses the annotated locking layer; use "
+               "Mutex/MutexLock/CondVar from util/mutex.h so "
+               "-Wthread-safety can see it"});
+      break;  // one per line
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule: bench-schema-sync (cross-file)
+// ---------------------------------------------------------------------
+
+/// All string literals passed as the sole/first argument of `fn("...")`.
+std::vector<std::pair<uint32_t, std::string>> CallStringLiterals(
+    const std::string& contents, const std::string& fn) {
+  std::vector<std::pair<uint32_t, std::string>> out;
+  std::vector<std::string> lines = SplitLines(contents);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    for (size_t p = FindWord(line, fn); p != std::string::npos;
+         p = FindWord(line, fn, p + 1)) {
+      size_t open = line.find_first_not_of(" \t", p + fn.size());
+      if (open == std::string::npos || line[open] != '(') continue;
+      size_t q1 = line.find('"', open + 1);
+      if (q1 == std::string::npos) continue;
+      // Nothing but whitespace between '(' and the quote — otherwise the
+      // first argument is not a literal.
+      if (Strip(line.substr(open + 1, q1 - open - 1)) != "") continue;
+      size_t q2 = line.find('"', q1 + 1);
+      if (q2 == std::string::npos) continue;
+      out.emplace_back(uint32_t(i + 1), line.substr(q1 + 1, q2 - q1 - 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> LintBenchSchema(const std::string& diff_path,
+                                     const std::string& diff_contents,
+                                     const std::string& reporter_path,
+                                     const std::string& reporter_contents) {
+  std::vector<Finding> findings;
+  std::set<std::string> emitted;
+  for (auto& [line, key] : CallStringLiterals(reporter_contents, "Set")) {
+    (void)line;
+    emitted.insert(key);
+  }
+  auto check = [&](uint32_t line, const std::string& key) {
+    if (emitted.count(key)) return;
+    findings.push_back(
+        {"bench-schema-sync", diff_path, line,
+         "bench_diff reads key \"" + key + "\" but " + reporter_path +
+             " never emits it — the checker and the reporter schema "
+             "drifted apart"});
+  };
+  for (auto& [line, key] : CallStringLiterals(diff_contents, "Find")) {
+    check(line, key);
+  }
+  for (auto& [line, path] : CallStringLiterals(diff_contents, "FindPath")) {
+    // Dotted paths resolve through nested objects; every component must
+    // be an emitted key.
+    std::stringstream ss(path);
+    std::string part;
+    while (std::getline(ss, part, '.')) check(line, part);
+  }
+  return findings;
+}
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& contents,
+                              const std::vector<std::string>& rules) {
+  std::vector<Finding> findings;
+  std::vector<std::string> code_lines =
+      SplitLines(BlankCommentsAndStrings(contents));
+  if (RuleEnabled(rules, "spp-ring-power-of-two")) {
+    CheckRingRule(path, code_lines, &findings);
+  }
+  if (RuleEnabled(rules, "prefetch-stage-discipline")) {
+    CheckPrefetchRule(path, code_lines, &findings);
+  }
+  if (RuleEnabled(rules, "dropped-status")) {
+    CheckDroppedStatusRule(path, code_lines, &findings);
+  }
+  if (RuleEnabled(rules, "raw-mutex-primitive")) {
+    CheckRawMutexRule(path, code_lines, &findings);
+  }
+  return findings;
+}
+
+namespace {
+
+bool HasLintableExtension(const std::filesystem::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+StatusOr<std::string> ReadFileContents(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::vector<Finding> LintTree(const std::vector<std::string>& paths,
+                              const std::string& root,
+                              const std::vector<std::string>& rules) {
+  std::vector<Finding> findings;
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (auto it = std::filesystem::recursive_directory_iterator(p, ec);
+           !ec && it != std::filesystem::recursive_directory_iterator();
+           ++it) {
+        if (it->is_regular_file() && HasLintableExtension(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& f : files) {
+    auto contents = ReadFileContents(f);
+    if (!contents.ok()) {
+      findings.push_back({"io", f, 0, contents.status().ToString()});
+      continue;
+    }
+    std::vector<Finding> file_findings = LintFile(f, contents.value(), rules);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  if (!root.empty() && RuleEnabled(rules, "bench-schema-sync")) {
+    std::string diff_path = root + "/tools/bench_diff.cc";
+    std::string reporter_path = root + "/src/perf/bench_reporter.cc";
+    auto diff = ReadFileContents(diff_path);
+    auto reporter = ReadFileContents(reporter_path);
+    if (diff.ok() && reporter.ok()) {
+      std::vector<Finding> schema = LintBenchSchema(
+          diff_path, diff.value(), reporter_path, reporter.value());
+      findings.insert(findings.end(), schema.begin(), schema.end());
+    }
+  }
+  return findings;
+}
+
+JsonValue FindingsToJson(const std::vector<Finding>& findings) {
+  JsonValue doc = JsonValue::Object();
+  JsonValue arr = JsonValue::Array();
+  for (const Finding& f : findings) {
+    JsonValue item = JsonValue::Object();
+    item.Set("rule", f.rule);
+    item.Set("file", f.file);
+    item.Set("line", uint64_t(f.line));
+    item.Set("message", f.message);
+    arr.Append(std::move(item));
+  }
+  doc.Set("findings", std::move(arr));
+  doc.Set("count", uint64_t(findings.size()));
+  return doc;
+}
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string> kRules = {
+      "spp-ring-power-of-two", "prefetch-stage-discipline",
+      "dropped-status", "raw-mutex-primitive", "bench-schema-sync"};
+  return kRules;
+}
+
+}  // namespace hjlint
+}  // namespace hashjoin

@@ -1,0 +1,72 @@
+#ifndef HASHJOIN_TOOLS_HJLINT_LINT_H_
+#define HASHJOIN_TOOLS_HJLINT_LINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json_writer.h"
+
+namespace hashjoin {
+namespace hjlint {
+
+/// One lint violation. `rule` is the stable rule id (used by
+/// --rules= filtering and by the JSON report), `line` is 1-based.
+struct Finding {
+  std::string rule;
+  std::string file;
+  uint32_t line = 0;
+  std::string message;
+};
+
+/// Per-file rules, applied to one source file's contents. `path` is the
+/// path as given (relative paths stay relative in findings).
+///
+/// Rules:
+///  - spp-ring-power-of-two: a `ring = ...` state-ring size must be
+///    NextPowerOfTwo(<stages * d> + 1) and the companion `mask` must be
+///    `ring - 1` (the bit-mask indexing of §5.3 silently corrupts state
+///    slots otherwise).
+///  - prefetch-stage-discipline: an address passed to Prefetch in one
+///    pipeline stage must not be dereferenced later in the same
+///    function — the point of the stage split is that the dereference
+///    happens a stage later, after the miss has been overlapped.
+///  - dropped-status: a ReadPage/WritePage/FlushWrites/NextPage call as
+///    a bare statement discards its Status (I/O errors vanish).
+///  - raw-mutex-primitive: files under src/ must use the annotated
+///    Mutex/MutexLock/CondVar wrappers (util/mutex.h), never the std
+///    primitives directly, or thread-safety analysis has no capability
+///    to track.
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& contents,
+                              const std::vector<std::string>& rules);
+
+/// Cross-file rule bench-schema-sync: every JSON key tools/bench_diff.cc
+/// looks up (Find/FindPath string literals) must be a key
+/// src/perf/bench_reporter.cc emits (Set string literals), so
+/// `bench_diff --check` can never go stale against the reporter. No-op
+/// (no findings) when either file is absent.
+std::vector<Finding> LintBenchSchema(const std::string& diff_path,
+                                     const std::string& diff_contents,
+                                     const std::string& reporter_path,
+                                     const std::string& reporter_contents);
+
+/// Runs every rule (filtered by `rules`; empty = all) over the .h/.cc/
+/// .cpp files found under `paths` (files or directories, recursed).
+/// `root` anchors the bench-schema-sync pair lookup; pass the repo root
+/// or "" to skip that rule.
+std::vector<Finding> LintTree(const std::vector<std::string>& paths,
+                              const std::string& root,
+                              const std::vector<std::string>& rules);
+
+/// Findings as a JSON document: {"findings":[{rule,file,line,message}],
+/// "count":N} — shape checked by tests/hjlint_test.cc.
+JsonValue FindingsToJson(const std::vector<Finding>& findings);
+
+/// All rule ids, for --rules validation and --help.
+const std::vector<std::string>& AllRules();
+
+}  // namespace hjlint
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_TOOLS_HJLINT_LINT_H_

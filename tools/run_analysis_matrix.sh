@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Builds and tests the analysis matrix defined in CMakePresets.json.
+#
+#   tools/run_analysis_matrix.sh                 # the full CI matrix
+#   tools/run_analysis_matrix.sh --presets=asan,tsan
+#   tools/run_analysis_matrix.sh --jobs=8
+#
+# Each preset configures into build-<preset>/, builds, and runs its
+# labeled ctest subset (asan/ubsan -> faults, tsan -> threaded|sched,
+# analysis -> lint|bench-smoke, debug -> everything). The script keeps
+# going after a preset fails and exits nonzero if ANY step failed, so a
+# CI job reports the whole matrix in one run.
+#
+# Sanitizer presets are for correctness only — never quote perf numbers
+# from them (EXPERIMENTS.md).
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+PRESETS="analysis,debug,asan,ubsan,tsan"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+for arg in "$@"; do
+  case "$arg" in
+    --presets=*) PRESETS="${arg#--presets=}" ;;
+    --jobs=*)    JOBS="${arg#--jobs=}" ;;
+    -h|--help)
+      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "run_analysis_matrix.sh: unknown argument '$arg'" >&2
+      exit 2
+      ;;
+  esac
+done
+
+failed=()
+passed=()
+
+run_step() {
+  local preset="$1"; shift
+  echo
+  echo "=== [$preset] $* ==="
+  if ! "$@"; then
+    return 1
+  fi
+}
+
+IFS=',' read -r -a preset_list <<< "$PRESETS"
+for preset in "${preset_list[@]}"; do
+  ok=1
+  run_step "$preset" cmake --preset "$preset" || ok=0
+  if [ "$ok" = 1 ]; then
+    run_step "$preset" cmake --build --preset "$preset" -j "$JOBS" || ok=0
+  fi
+  if [ "$ok" = 1 ]; then
+    run_step "$preset" ctest --preset "$preset" -j "$JOBS" || ok=0
+  fi
+  if [ "$ok" = 1 ]; then
+    passed+=("$preset")
+  else
+    failed+=("$preset")
+  fi
+done
+
+echo
+echo "=== analysis matrix summary ==="
+for p in ${passed[@]+"${passed[@]}"}; do echo "  PASS $p"; done
+for p in ${failed[@]+"${failed[@]}"}; do echo "  FAIL $p"; done
+
+if [ "${#failed[@]}" -ne 0 ]; then
+  echo "analysis matrix: ${#failed[@]} preset(s) failed" >&2
+  exit 1
+fi
+echo "analysis matrix: all ${#passed[@]} preset(s) passed"
