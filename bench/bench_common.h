@@ -2,10 +2,12 @@
 #define HASHJOIN_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "join/grace.h"
+#include "model/cost_model.h"
 #include "mem/memory_model.h"
 #include "simcache/memory_sim.h"
 #include "util/flags.h"
@@ -113,10 +115,18 @@ inline void PrintBreakdown(const std::string& label,
       pct(s.other_stall_cycles));
 }
 
-/// Normalized-cycles row for line-chart style figures.
+/// Normalized-cycles row for line-chart style figures. The column set is
+/// whatever schemes this binary compiled in (hashjoin::AllSchemes), so a
+/// toolchain without coroutines simply prints one column fewer.
+inline void PrintSeriesHeader(const char* x_name,
+                              const std::vector<Scheme>& schemes) {
+  std::printf("%-14s", x_name);
+  for (Scheme s : schemes) std::printf(" %14s", SchemeName(s));
+  std::printf("\n");
+}
+
 inline void PrintSeriesHeader(const char* x_name) {
-  std::printf("%-14s %14s %14s %14s %14s\n", x_name, "baseline", "simple",
-              "group", "swp");
+  PrintSeriesHeader(x_name, hashjoin::AllSchemes());
 }
 
 inline void PrintSeriesRow(const std::string& x,
@@ -135,8 +145,76 @@ inline void PrintSpeedups(const std::vector<uint64_t>& cycles) {
   std::printf("\n");
 }
 
-inline std::vector<Scheme> AllSchemes() {
-  return {Scheme::kBaseline, Scheme::kSimple, Scheme::kGroup, Scheme::kSwp};
+/// Resolves the shared `--scheme` flag: a comma-separated list of scheme
+/// names (one table for every bench, no per-driver copies), defaulting
+/// to every scheme compiled into this binary. Unknown names are fatal
+/// and list the valid values.
+inline std::vector<Scheme> SchemesFromFlag(const FlagParser& flags) {
+  std::string value = flags.GetString("scheme", "");
+  if (value.empty()) return hashjoin::AllSchemes();
+  std::vector<Scheme> schemes;
+  size_t pos = 0;
+  while (pos <= value.size()) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    std::string name = value.substr(pos, comma - pos);
+    Scheme s;
+    if (!name.empty()) {
+      if (!ParseScheme(name, &s)) {
+        std::fprintf(stderr,
+                     "unknown --scheme value '%s' (valid: %s)\n",
+                     name.c_str(), SchemeNameList().c_str());
+        std::exit(2);
+      }
+      if (!SchemeAvailable(s)) {
+        std::fprintf(stderr,
+                     "--scheme=%s is not compiled into this binary "
+                     "(toolchain lacks C++20 coroutines)\n",
+                     name.c_str());
+        std::exit(2);
+      }
+      schemes.push_back(s);
+    }
+    pos = comma + 1;
+  }
+  if (schemes.empty()) {
+    std::fprintf(stderr, "--scheme parsed to an empty list (valid: %s)\n",
+                 SchemeNameList().c_str());
+    std::exit(2);
+  }
+  return schemes;
+}
+
+/// Interleave width for the coroutine policy: the same Theorem-1 sizing
+/// group prefetching uses — W concurrent chains hide the latency G
+/// concurrent group slots do.
+inline uint32_t TunedCoroWidth(const model::CodeCosts& costs,
+                               const sim::SimConfig& cfg) {
+  model::MachineParams machine{cfg.memory_latency,
+                               cfg.memory_bandwidth_gap};
+  return model::ChooseParams(costs, machine).group_size;
+}
+
+/// Per-stage code costs of the probe loop, taken from the simulator's
+/// Table-2 instruction estimates. On real hardware these are approximate
+/// — they parameterize Theorems 1 and 2, whose G/D output is insensitive
+/// to small Ci errors (the curves are flat near the optimum, Fig. 12).
+inline model::CodeCosts ProbeCodeCosts() {
+  sim::SimConfig def;
+  return model::CodeCosts{{def.cost_hash + def.cost_slot_bookkeeping,
+                           def.cost_visit_header, def.cost_visit_cell,
+                           def.cost_key_compare +
+                               2 * def.cost_tuple_copy_per_line}};
+}
+
+/// Partition-loop stage costs from the same Table-2 estimates: stage 0
+/// hashes and picks the destination, stage 1 touches the output buffer
+/// tail (the one dependent reference, k = 1).
+inline model::CodeCosts PartitionCodeCosts() {
+  sim::SimConfig def;
+  return model::CodeCosts{
+      {def.cost_hash + def.cost_slot_bookkeeping,
+       2 * def.cost_tuple_copy_per_line}};
 }
 
 /// Simulator counters in the shared BENCH_*.json record schema, so sim

@@ -16,7 +16,8 @@
 #include <memory>
 #include <vector>
 
-#include "join/aggregate_kernels.h"
+#include "bench_common.h"
+#include "join/exec_policy.h"
 #include "mem/memory_model.h"
 #include "model/cost_model.h"
 #include "perf/bench_reporter.h"
@@ -76,6 +77,11 @@ void RunAgg(benchmark::State& state, int mode) {
       case 2:
         AggregateSwp(mm, facts, 4, &agg, param);
         break;
+#if HASHJOIN_HAS_COROUTINES
+      case 3:
+        AggregateCoro(mm, facts, 4, &agg, param);
+        break;
+#endif
     }
     benchmark::DoNotOptimize(agg.num_groups());
   }
@@ -86,6 +92,9 @@ void RunAgg(benchmark::State& state, int mode) {
 void BM_Agg_Baseline(benchmark::State& state) { RunAgg(state, 0); }
 void BM_Agg_Group(benchmark::State& state) { RunAgg(state, 1); }
 void BM_Agg_Swp(benchmark::State& state) { RunAgg(state, 2); }
+#if HASHJOIN_HAS_COROUTINES
+void BM_Agg_Coro(benchmark::State& state) { RunAgg(state, 3); }
+#endif
 
 // {groups, G/D}; keys are uniform 32-bit, so "groups" ~= tuple count
 // for the large setting (mostly-distinct) — the interesting regime.
@@ -105,6 +114,14 @@ BENCHMARK(BM_Agg_Swp)
     ->Args({1 << 22, 4})
     ->Args({1 << 22, 8})
     ->Unit(benchmark::kMillisecond);
+#if HASHJOIN_HAS_COROUTINES
+BENCHMARK(BM_Agg_Coro)
+    ->Args({1 << 14, 19})
+    ->Args({1 << 22, 8})
+    ->Args({1 << 22, 19})
+    ->Args({1 << 22, 48})
+    ->Unit(benchmark::kMillisecond);
+#endif
 
 int RunJsonHarness(const FlagParser& flags) {
   const bool smoke = flags.GetBool("smoke", false);
@@ -139,39 +156,42 @@ int RunJsonHarness(const FlagParser& flags) {
       smoke ? std::vector<uint64_t>{1 << 10}
             : std::vector<uint64_t>{1 << 14, 1 << 22};
   RealMemory mm;
-  struct Mode {
-    const char* name;
-    int mode;
-    uint32_t param;
-  };
+  // Scheme set: every compiled-in scheme except simple (no inter-tuple
+  // protocol, uninteresting for the accumulator-bound loop); --scheme
+  // overrides. The G column doubles as the coroutine interleave width.
+  std::vector<Scheme> schemes;
+  if (flags.Has("scheme")) {
+    schemes = bench::SchemesFromFlag(flags);
+  } else {
+    schemes = {Scheme::kBaseline, Scheme::kGroup, Scheme::kSwp};
+    if (SchemeAvailable(Scheme::kCoro)) schemes.push_back(Scheme::kCoro);
+  }
 
   for (uint64_t groups : group_counts) {
     const Relation facts = MakeFacts(groups, num_facts);
-    const Mode modes[] = {{"baseline", 0, 1},
-                          {"group", 1, tuned_g},
-                          {"swp", 2, tuned_d}};
-    for (const Mode& m : modes) {
+    for (Scheme scheme : schemes) {
+      KernelParams params;
+      params.group_size =
+          (scheme == Scheme::kGroup || scheme == Scheme::kCoro) ? tuned_g
+                                                                : 1;
+      params.prefetch_distance = scheme == Scheme::kSwp ? tuned_d : 1;
       std::unique_ptr<HashAggTable> agg;
       uint64_t out_groups = 0;
       JsonValue config = JsonValue::Object();
       config.Set("phase", "aggregate");
-      config.Set("scheme", m.name);
-      config.Set("G", m.mode == 1 ? m.param : 1);
-      config.Set("D", m.mode == 2 ? m.param : 1);
+      config.Set("scheme", SchemeName(scheme));
+      config.Set("G", params.group_size);
+      config.Set("D", params.prefetch_distance);
       config.Set("threads", 1);
       config.Set("groups", groups);
       config.Set("fact_tuples", facts.num_tuples());
       JsonValue& rec = reporter.AddRecord(
-          std::string("agg/") + m.name + "/groups=" +
+          std::string("agg/") + SchemeName(scheme) + "/groups=" +
               std::to_string(groups),
           std::move(config),
           /*body=*/
           [&] {
-            switch (m.mode) {
-              case 0: AggregateBaseline(mm, facts, 4, agg.get()); break;
-              case 1: AggregateGroup(mm, facts, 4, agg.get(), m.param); break;
-              case 2: AggregateSwp(mm, facts, 4, agg.get(), m.param); break;
-            }
+            AggregateRelation(mm, scheme, facts, 4, agg.get(), params);
             out_groups = agg->num_groups();
           },
           /*setup=*/
@@ -208,9 +228,15 @@ int main(int argc, char** argv) {
   hashjoin::FlagParser flags;
   flags.Parse(argc, argv);
   if (flags.Has("json")) return hashjoin::RunJsonHarness(flags);
+  // Validate --scheme even on the google-benchmark path (where the
+  // registered benchmark list, not the flag, picks the kernels): a typo
+  // should fail loudly, not silently run everything.
+  if (flags.Has("scheme")) {
+    (void)hashjoin::bench::SchemesFromFlag(flags);
+  }
 
   const char* repo_flags[] = {"--smoke", "--trials", "--warmup",
-                              "--auto-tune"};
+                              "--auto-tune", "--scheme"};
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];

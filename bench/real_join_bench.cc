@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "join/grace.h"
 #include "join/grace_disk.h"
 #include "mem/memory_model.h"
@@ -103,6 +104,13 @@ void BM_Join_Swp(benchmark::State& state) {
   p.prefetch_distance = uint32_t(state.range(1));
   RunJoin(state, Scheme::kSwp, p, uint32_t(state.range(0)));
 }
+#if HASHJOIN_HAS_COROUTINES
+void BM_Join_Coro(benchmark::State& state) {
+  KernelParams p;
+  p.group_size = uint32_t(state.range(1));  // interleave width W
+  RunJoin(state, Scheme::kCoro, p, uint32_t(state.range(0)));
+}
+#endif
 
 // Ablations at the pivot point (100B tuples, G=19).
 void BM_Join_Group_NoMemoizedHash(benchmark::State& state) {
@@ -136,6 +144,14 @@ BENCHMARK(BM_Join_Swp)
     ->Args({100, 8})
     ->Args({20, 4})
     ->Unit(benchmark::kMillisecond);
+#if HASHJOIN_HAS_COROUTINES
+BENCHMARK(BM_Join_Coro)
+    ->Args({100, 8})
+    ->Args({100, 19})
+    ->Args({100, 32})
+    ->Args({20, 19})
+    ->Unit(benchmark::kMillisecond);
+#endif
 BENCHMARK(BM_Join_Group_NoMemoizedHash)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Join_Group_NoOutputPrefetch)->Unit(benchmark::kMillisecond);
 
@@ -223,17 +239,7 @@ void DiskGraceJoinBench(benchmark::State& state, bool checksums,
 
 namespace {
 
-// Per-stage code costs of the probe loop, taken from the simulator's
-// Table-2 instruction estimates. On real hardware these are approximate
-// —they parameterize Theorems 1 and 2, whose G/D output is insensitive
-// to small Ci errors (the curves are flat near the optimum, Fig. 12).
-model::CodeCosts ProbeCodeCosts() {
-  sim::SimConfig def;
-  return model::CodeCosts{{def.cost_hash + def.cost_slot_bookkeeping,
-                           def.cost_visit_header, def.cost_visit_cell,
-                           def.cost_key_compare +
-                               2 * def.cost_tuple_copy_per_line}};
-}
+using bench::ProbeCodeCosts;  // shared Table-2 cost vector
 
 JoinWorkload MakeWorkload(uint32_t tuple_size, uint64_t working_set_bytes) {
   WorkloadSpec spec;
@@ -284,10 +290,18 @@ int RunJsonHarness(const FlagParser& flags) {
   const JoinWorkload w = MakeWorkload(tuple_size, working_set);
   RealMemory mm;
 
-  // --- join phase (build + probe), four schemes ---
-  for (Scheme scheme : {Scheme::kBaseline, Scheme::kSimple, Scheme::kGroup,
-                        Scheme::kSwp}) {
+  // --- join phase (build + probe), every scheme in --scheme (default:
+  // all compiled in) ---
+  const bool auto_tuned = flags.GetBool("auto-tune", false);
+  for (Scheme scheme : bench::SchemesFromFlag(flags)) {
     KernelParams params = tuned;
+    if (scheme == Scheme::kCoro && !auto_tuned) {
+      // Coroutine interleave width from the same Theorem-1 model GP's
+      // group size comes from (auto-tune already did this from the
+      // calibrated T/Tnext).
+      params.group_size =
+          bench::TunedCoroWidth(ProbeCodeCosts(), sim::SimConfig{});
+    }
     std::unique_ptr<HashTable> ht;
     std::unique_ptr<Relation> out;
     uint64_t outputs = 0;
@@ -379,6 +393,7 @@ int RunJsonHarness(const FlagParser& flags) {
       bool ok = true;
       JsonValue cfg = JsonValue::Object();
       cfg.Set("phase", "disk_grace");
+      cfg.Set("scheme", SchemeName(DiskJoinConfig{}.join_scheme));
       cfg.Set("checksums", dc.checksums);
       cfg.Set("fault_rate", dc.rate);
       cfg.Set("fault_seed", fault_seed);
@@ -455,11 +470,18 @@ int main(int argc, char** argv) {
   hashjoin::FlagParser flags;
   flags.Parse(argc, argv);
   if (flags.Has("json")) return hashjoin::RunJsonHarness(flags);
+  // Validate --scheme even on the google-benchmark path (where the
+  // registered benchmark list, not the flag, picks the kernels): a typo
+  // should fail loudly, not silently run everything.
+  if (flags.Has("scheme")) {
+    (void)hashjoin::bench::SchemesFromFlag(flags);
+  }
   uint32_t threads = uint32_t(flags.GetInt("threads", 1));
   double fault_rate = flags.GetDouble("fault-rate", 0.0);
   uint64_t fault_seed = uint64_t(flags.GetInt("fault-seed", 0x5EED));
 
-  const char* repo_flags[] = {"--threads", "--fault-rate", "--fault-seed"};
+  const char* repo_flags[] = {"--threads", "--fault-rate", "--fault-seed",
+                              "--scheme"};
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];

@@ -23,8 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
+#include "join/exec_policy.h"
 #include "join/grace_disk.h"
-#include "join/partition_kernels.h"
 #include "mem/memory_model.h"
 #include "model/cost_model.h"
 #include "perf/bench_reporter.h"
@@ -84,6 +85,11 @@ void BM_Partition_Group(benchmark::State& state) {
 void BM_Partition_Swp(benchmark::State& state) {
   RunPartition(state, Scheme::kSwp);
 }
+#if HASHJOIN_HAS_COROUTINES
+void BM_Partition_Coro(benchmark::State& state) {
+  RunPartition(state, Scheme::kCoro);
+}
+#endif
 
 // {partitions, G, D}
 BENCHMARK(BM_Partition_Baseline)
@@ -106,6 +112,14 @@ BENCHMARK(BM_Partition_Swp)
     ->Args({800, 1, 4})
     ->Args({800, 1, 8})
     ->Unit(benchmark::kMillisecond);
+#if HASHJOIN_HAS_COROUTINES
+BENCHMARK(BM_Partition_Coro)
+    ->Args({64, 14, 1})
+    ->Args({800, 8, 1})
+    ->Args({800, 14, 1})
+    ->Args({800, 32, 1})
+    ->Unit(benchmark::kMillisecond);
+#endif
 
 }  // namespace
 
@@ -165,15 +179,7 @@ void DiskPartitionBench(benchmark::State& state, bool checksums,
 
 namespace {
 
-// Partition-loop stage costs from the simulator's Table-2 estimates:
-// stage 0 hashes and picks the destination, stage 1 touches the output
-// buffer tail (the one dependent reference, k = 1).
-model::CodeCosts PartitionCodeCosts() {
-  sim::SimConfig def;
-  return model::CodeCosts{
-      {def.cost_hash + def.cost_slot_bookkeeping,
-       2 * def.cost_tuple_copy_per_line}};
-}
+using bench::PartitionCodeCosts;  // shared Table-2 cost vector
 
 int RunJsonHarness(const FlagParser& flags) {
   const bool smoke = flags.GetBool("smoke", false);
@@ -214,9 +220,9 @@ int RunJsonHarness(const FlagParser& flags) {
   std::vector<uint32_t> part_counts =
       smoke ? std::vector<uint32_t>{16} : std::vector<uint32_t>{64, 800};
 
+  const std::vector<Scheme> schemes = bench::SchemesFromFlag(flags);
   for (uint32_t parts : part_counts) {
-    for (Scheme scheme : {Scheme::kBaseline, Scheme::kSimple,
-                          Scheme::kGroup, Scheme::kSwp}) {
+    for (Scheme scheme : schemes) {
       std::vector<Relation> dests;
       uint64_t total = 0;
       bool ok = true;
@@ -279,10 +285,16 @@ int main(int argc, char** argv) {
   hashjoin::FlagParser flags;
   flags.Parse(argc, argv);
   if (flags.Has("json")) return hashjoin::RunJsonHarness(flags);
+  // Validate --scheme even on the google-benchmark path (where the
+  // registered benchmark list, not the flag, picks the kernels): a typo
+  // should fail loudly, not silently run everything.
+  if (flags.Has("scheme")) {
+    (void)hashjoin::bench::SchemesFromFlag(flags);
+  }
   double fault_rate = flags.GetDouble("fault-rate", 0.0);
   uint64_t fault_seed = uint64_t(flags.GetInt("fault-seed", 0x5EED));
 
-  const char* repo_flags[] = {"--fault-rate", "--fault-seed"};
+  const char* repo_flags[] = {"--fault-rate", "--fault-seed", "--scheme"};
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];

@@ -45,8 +45,18 @@ int main(int argc, char** argv) {
   std::printf("=== Build-phase skew tolerance (Zipf keys, %llu tuples) "
               "[scale=%.2f] ===\n\n",
               (unsigned long long)tuples, geo.scale);
-  std::printf("%-10s %14s %14s %14s\n", "theta", "baseline", "group",
-              "swp");
+  // Conflict-protocol schemes (simple has no inter-tuple protocol, so it
+  // is uninteresting here); --scheme overrides the set.
+  std::vector<Scheme> schemes;
+  if (flags.Has("scheme")) {
+    schemes = SchemesFromFlag(flags);
+  } else {
+    schemes = {Scheme::kBaseline, Scheme::kGroup, Scheme::kSwp};
+    if (SchemeAvailable(Scheme::kCoro)) schemes.push_back(Scheme::kCoro);
+  }
+  std::printf("%-10s", "theta");
+  for (Scheme s : schemes) std::printf(" %14s", SchemeName(s));
+  std::printf("\n");
 
   KernelParams params;
   params.group_size = 14;
@@ -57,8 +67,7 @@ int main(int argc, char** argv) {
             ? GenerateSourceRelation(tuples, 20, 7)
             : GenerateSkewedRelation(tuples, 20, theta, tuples / 4, 7);
     std::printf("%-10.2f", theta);
-    for (Scheme s :
-         {Scheme::kBaseline, Scheme::kGroup, Scheme::kSwp}) {
+    for (Scheme s : schemes) {
       sim::SimStats stats;
       uint64_t built = 0;
       auto run_build = [&] {

@@ -2,9 +2,8 @@
 
 #include <cstring>
 
-#include "join/build_kernels.h"
+#include "join/exec_policy.h"
 #include "join/grace.h"
-#include "join/probe_kernels.h"
 #include "mem/memory_model.h"
 #include "util/logging.h"
 

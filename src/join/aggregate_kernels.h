@@ -81,13 +81,51 @@ class HashAggTable {
   std::deque<AggState> states_;  // deque: stable addresses across growth
 };
 
-/// Per-tuple pipeline state for the group-prefetched aggregation loop.
+/// Per-tuple pipeline state for the prefetched aggregation loops.
 struct AggPipelineState {
   uint32_t hash = 0;
   uint32_t key = 0;
   int64_t value = 0;
   AggState* state = nullptr;
+
+  /// Clears the per-tuple fields before a new tuple occupies this state
+  /// slot (stage 0); shared by every scheme (see ProbeState).
+  void ResetForTuple() {
+    value = 0;
+    state = nullptr;
+  }
 };
+
+/// Stage 0 of aggregation, shared by every scheme: pull the next input
+/// tuple, read its key and value, hash, and (when `prefetch` is set)
+/// prefetch the input page on entry and the bucket header the visit
+/// stage will touch. Returns false at end of input.
+template <typename MM>
+inline bool AggStage0(MM& mm, TupleCursor& cursor, AggPipelineState& st,
+                      uint32_t value_offset, HashTable& ht, bool prefetch) {
+  const auto& cfg = mm.config();
+  const SlottedPage::Slot* slot;
+  const uint8_t* tuple;
+  bool new_page = false;
+  if (!cursor.Next(&slot, &tuple, &new_page)) return false;
+  if (prefetch && new_page) {
+    mm.Prefetch(cursor.CurrentPageData(), cursor.page_size());
+  }
+  mm.Read(slot, sizeof(SlottedPage::Slot));
+  st.ResetForTuple();
+  mm.Read(tuple, 4);
+  std::memcpy(&st.key, tuple, 4);
+  st.hash = HashKey32(st.key);
+  mm.Busy(cfg.cost_hash * 2);
+  if (value_offset + 8 <= slot->length) {
+    mm.Read(tuple + value_offset, 8);
+    std::memcpy(&st.value, tuple + value_offset, 8);
+  }
+  if (prefetch) {
+    mm.Prefetch(ht.bucket(ht.BucketIndex(st.hash)), sizeof(BucketHeader));
+  }
+  return true;
+}
 
 /// Locates (or creates) the group state for one tuple. The bucket and
 /// its cells are resident after the visit, so creation completes inside
@@ -144,21 +182,25 @@ inline void AggUpdate(MM& mm, AggPipelineState& st) {
 template <typename MM>
 void AggregateBaseline(MM& mm, const Relation& input, uint32_t value_offset,
                        HashAggTable* agg) {
-  const auto& cfg = mm.config();
   TupleCursor cursor(input);
-  const SlottedPage::Slot* slot;
-  const uint8_t* tuple;
-  while (cursor.Next(&slot, &tuple)) {
-    mm.Read(slot, sizeof(SlottedPage::Slot));
-    AggPipelineState st;
-    mm.Read(tuple, 4);
-    std::memcpy(&st.key, tuple, 4);
-    st.hash = HashKey32(st.key);
-    mm.Busy(cfg.cost_hash * 2);
-    if (value_offset + 8 <= slot->length) {
-      mm.Read(tuple + value_offset, 8);
-      std::memcpy(&st.value, tuple + value_offset, 8);
-    }
+  AggPipelineState st;
+  while (AggStage0(mm, cursor, st, value_offset, agg->table(),
+                   /*prefetch=*/false)) {
+    st.state = AggVisitBucket(mm, agg, st.hash, st.key);
+    AggUpdate(mm, st);
+  }
+}
+
+/// Simple prefetching for aggregation: the stage-0 input-page prefetch
+/// plus the just-in-time bucket prefetch, issued immediately before the
+/// visit (same idea — and same limitation — as ProbeSimple).
+template <typename MM>
+void AggregateSimple(MM& mm, const Relation& input, uint32_t value_offset,
+                     HashAggTable* agg) {
+  TupleCursor cursor(input);
+  AggPipelineState st;
+  while (AggStage0(mm, cursor, st, value_offset, agg->table(),
+                   /*prefetch=*/true)) {
     st.state = AggVisitBucket(mm, agg, st.hash, st.key);
     AggUpdate(mm, st);
   }
@@ -180,30 +222,12 @@ void AggregateGroup(MM& mm, const Relation& input, uint32_t value_offset,
   while (more) {
     uint32_t g = 0;
     while (g < group) {
-      const SlottedPage::Slot* slot;
-      const uint8_t* tuple;
-      bool new_page = false;
-      if (!cursor.Next(&slot, &tuple, &new_page)) {
+      mm.Busy(cfg.cost_stage_overhead_gp);
+      if (!AggStage0(mm, cursor, states[g], value_offset, ht,
+                     /*prefetch=*/true)) {
         more = false;
         break;
       }
-      if (new_page) {
-        mm.Prefetch(cursor.CurrentPageData(), cursor.page_size());
-      }
-      mm.Busy(cfg.cost_stage_overhead_gp);
-      mm.Read(slot, sizeof(SlottedPage::Slot));
-      AggPipelineState& st = states[g];
-      mm.Read(tuple, 4);
-      std::memcpy(&st.key, tuple, 4);
-      st.hash = HashKey32(st.key);
-      mm.Busy(cfg.cost_hash * 2);
-      st.value = 0;
-      if (value_offset + 8 <= slot->length) {
-        mm.Read(tuple + value_offset, 8);
-        std::memcpy(&st.value, tuple + value_offset, 8);
-      }
-      mm.Prefetch(ht.bucket(ht.BucketIndex(st.hash)),
-                  sizeof(BucketHeader));
       ++g;
     }
     for (uint32_t i = 0; i < g; ++i) {
@@ -241,29 +265,11 @@ void AggregateSwp(MM& mm, const Relation& input, uint32_t value_offset,
   for (uint64_t j = 0;; ++j) {
     mm.Busy(cfg.cost_stage_overhead_spp);
     if (j < n) {
-      const SlottedPage::Slot* slot;
-      const uint8_t* tuple;
-      bool new_page = false;
-      if (!cursor.Next(&slot, &tuple, &new_page)) {
-        n = issued;
-      } else {
-        if (new_page) {
-          mm.Prefetch(cursor.CurrentPageData(), cursor.page_size());
-        }
-        mm.Read(slot, sizeof(SlottedPage::Slot));
-        AggPipelineState& st = states[j & mask];
-        mm.Read(tuple, 4);
-        std::memcpy(&st.key, tuple, 4);
-        st.hash = HashKey32(st.key);
-        mm.Busy(cfg.cost_hash * 2);
-        st.value = 0;
-        if (value_offset + 8 <= slot->length) {
-          mm.Read(tuple + value_offset, 8);
-          std::memcpy(&st.value, tuple + value_offset, 8);
-        }
-        mm.Prefetch(ht.bucket(ht.BucketIndex(st.hash)),
-                    sizeof(BucketHeader));
+      if (AggStage0(mm, cursor, states[j & mask], value_offset, ht,
+                    /*prefetch=*/true)) {
         ++issued;
+      } else {
+        n = issued;
       }
     }
     if (j >= d && j - d < n) {

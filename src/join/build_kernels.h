@@ -37,6 +37,14 @@ struct BuildState {
   bool append_pending = false;  // cell-array write still owed (stage 2)
   int32_t next_waiting = -1;    // SPP waiting queue link (state index)
   int32_t waiting_head = -1;    // SPP: head of tuples waiting on my bucket
+
+  /// Clears the per-tuple fields before a new tuple occupies this state
+  /// slot (stage 0); shared by every scheme (see ProbeState).
+  void ResetForTuple() {
+    append_pending = false;
+    next_waiting = -1;
+    waiting_head = -1;
+  }
 };
 
 /// Accounts the (rare) cell-array growth a bucket insert may trigger:
@@ -120,9 +128,7 @@ inline bool BuildStage0(BuildContext<MM>& ctx, BuildState& st,
   }
   st.bucket = ctx.ht->bucket(ctx.ht->BucketIndex(st.hash));
   mm.Busy(cfg.cost_hash);
-  st.append_pending = false;
-  st.next_waiting = -1;
-  st.waiting_head = -1;
+  st.ResetForTuple();
   if (prefetch) mm.Prefetch(st.bucket, sizeof(BucketHeader));
   return true;
 }
@@ -199,30 +205,12 @@ template <typename MM>
 void BuildSimple(MM& mm, const Relation& build, HashTable* ht,
                  const KernelParams& params) {
   BuildContext<MM> ctx(&mm, ht, build, params.hash_mode);
-  const auto& cfg = mm.config();
-  TupleCursor& cur = ctx.cursor;
-  while (true) {
-    const SlottedPage::Slot* slot = nullptr;
-    const uint8_t* tuple = nullptr;
-    bool new_page = false;
-    if (!cur.Next(&slot, &tuple, &new_page)) break;
-    if (new_page) mm.Prefetch(cur.CurrentPageData(), cur.page_size());
-    mm.Read(slot, sizeof(SlottedPage::Slot));
-    uint32_t hash;
-    if (ctx.hash_mode == HashCodeMode::kMemoized) {
-      hash = slot->hash_code;
-      mm.Busy(cfg.cost_slot_bookkeeping);
-    } else {
-      uint32_t key;
-      mm.Read(tuple, 4);
-      std::memcpy(&key, tuple, 4);
-      hash = HashKey32(key);
-      mm.Busy(cfg.cost_hash);
-    }
-    mm.Busy(cfg.cost_hash);
-    mm.Prefetch(ctx.ht->bucket(ctx.ht->BucketIndex(hash)),
-                sizeof(BucketHeader));
-    BuildInsertSerial(ctx, tuple, hash);
+  BuildState st;
+  // A prefetching stage 0 is exactly the simple scheme: the wholesale
+  // input-page prefetch plus the just-in-time bucket prefetch ahead of
+  // the serial insert.
+  while (BuildStage0(ctx, st, /*prefetch=*/true)) {
+    BuildInsertSerial(ctx, st.tuple, st.hash);
   }
 }
 
@@ -335,21 +323,7 @@ void BuildSwp(MM& mm, const Relation& build, HashTable* ht,
   return;
 }
 
-/// Dispatches on scheme.
-template <typename MM>
-void BuildPartition(MM& mm, Scheme scheme, const Relation& build,
-                    HashTable* ht, const KernelParams& params) {
-  switch (scheme) {
-    case Scheme::kBaseline:
-      return BuildBaseline(mm, build, ht, params);
-    case Scheme::kSimple:
-      return BuildSimple(mm, build, ht, params);
-    case Scheme::kGroup:
-      return BuildGroup(mm, build, ht, params);
-    case Scheme::kSwp:
-      return BuildSwp(mm, build, ht, params);
-  }
-}
+// The Scheme dispatcher (BuildPartition) lives in exec_policy.h.
 
 }  // namespace hashjoin
 

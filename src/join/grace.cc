@@ -6,18 +6,61 @@
 
 namespace hashjoin {
 
+namespace {
+
+// The one scheme <-> name table (ISSUE 6): SchemeName, ParseScheme,
+// SchemeNameList, and AllSchemes all read it, so adding a scheme here is
+// the single registration point.
+struct SchemeEntry {
+  Scheme scheme;
+  const char* name;
+};
+
+constexpr SchemeEntry kSchemeTable[] = {
+    {Scheme::kBaseline, "baseline"}, {Scheme::kSimple, "simple"},
+    {Scheme::kGroup, "group"},       {Scheme::kSwp, "swp"},
+    {Scheme::kCoro, "coro"},
+};
+
+}  // namespace
+
 const char* SchemeName(Scheme s) {
-  switch (s) {
-    case Scheme::kBaseline:
-      return "baseline";
-    case Scheme::kSimple:
-      return "simple";
-    case Scheme::kGroup:
-      return "group";
-    case Scheme::kSwp:
-      return "swp";
+  for (const SchemeEntry& e : kSchemeTable) {
+    if (e.scheme == s) return e.name;
   }
   return "?";
+}
+
+bool ParseScheme(const std::string& name, Scheme* out) {
+  for (const SchemeEntry& e : kSchemeTable) {
+    if (name == e.name) {
+      *out = e.scheme;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string SchemeNameList() {
+  std::string list;
+  for (const SchemeEntry& e : kSchemeTable) {
+    if (!list.empty()) list += ", ";
+    list += e.name;
+  }
+  return list;
+}
+
+bool SchemeAvailable(Scheme s) {
+  if (s == Scheme::kCoro) return HASHJOIN_HAS_COROUTINES != 0;
+  return true;
+}
+
+std::vector<Scheme> AllSchemes() {
+  std::vector<Scheme> out;
+  for (const SchemeEntry& e : kSchemeTable) {
+    if (SchemeAvailable(e.scheme)) out.push_back(e.scheme);
+  }
+  return out;
 }
 
 uint32_t ComputeNumPartitions(uint64_t num_tuples, uint64_t data_bytes,

@@ -8,10 +8,8 @@
 #include <numeric>
 #include <vector>
 
-#include "join/build_kernels.h"
+#include "join/exec_policy.h"
 #include "join/join_common.h"
-#include "join/partition_kernels.h"
-#include "join/probe_kernels.h"
 #include "mem/memory_model.h"
 #include "model/cost_model.h"
 #include "storage/relation.h"

@@ -12,6 +12,107 @@
 
 namespace hashjoin {
 
+namespace {
+
+/// Probes one slot of a partition page against the build table, counting
+/// key matches. Shared by every execution policy below, so the policies
+/// differ only in prefetch scheduling, never in what a probe observes.
+inline void ProbeSlotCounting(const HashTable& ht, SlottedPage& pg, int s,
+                              uint64_t* matches) {
+  uint16_t len;
+  const uint8_t* t = pg.GetTuple(s, &len);
+  uint32_t key;
+  std::memcpy(&key, t, 4);
+  ht.Probe(pg.GetHashCode(s), [&](const uint8_t* bt) {
+    uint32_t bkey;
+    std::memcpy(&bkey, bt, 4);
+    if (bkey == key) ++*matches;
+  });
+}
+
+inline const BucketHeader* SlotBucket(const HashTable& ht,
+                                      const SlottedPage& pg, int s) {
+  return ht.bucket(ht.BucketIndex(pg.GetHashCode(s)));
+}
+
+#if HASHJOIN_HAS_COROUTINES
+/// One probe chain over the page's slots: hash/prefetch, suspend, probe.
+KernelCoro ProbePageChain(RealMemory& mm, const HashTable& ht,
+                          SlottedPage& pg, int& next, uint64_t* matches) {
+  while (next < pg.slot_count()) {
+    const int s = next++;
+    mm.Prefetch(SlotBucket(ht, pg, s), sizeof(BucketHeader));
+    co_await KernelCoro::NextStage{};
+    ProbeSlotCounting(ht, pg, s, matches);
+  }
+}
+#endif
+
+/// Count-only probe of one partition page under the disk join's
+/// configured execution policy. Slots are probed in order under every
+/// policy (group pass 2, SPP stage 2, and the coroutine chains all
+/// preserve slot order within their visit), so the tally is
+/// scheme-independent.
+void ProbePageCounting(const HashTable& ht, SlottedPage& pg, Scheme scheme,
+                       const KernelParams& params, uint64_t* matches) {
+  RealMemory mm;
+  const int n = pg.slot_count();
+  switch (scheme) {
+    case Scheme::kBaseline:
+      for (int s = 0; s < n; ++s) ProbeSlotCounting(ht, pg, s, matches);
+      return;
+    case Scheme::kSimple:
+      // Just-in-time bucket prefetch right before the visit (§7.1).
+      for (int s = 0; s < n; ++s) {
+        mm.Prefetch(SlotBucket(ht, pg, s), sizeof(BucketHeader));
+        ProbeSlotCounting(ht, pg, s, matches);
+      }
+      return;
+    case Scheme::kGroup: {
+      const int group = int(std::max(1u, params.group_size));
+      for (int base = 0; base < n; base += group) {
+        const int g = std::min(group, n - base);
+        for (int i = 0; i < g; ++i) {
+          mm.Prefetch(SlotBucket(ht, pg, base + i), sizeof(BucketHeader));
+        }
+        for (int i = 0; i < g; ++i) {
+          ProbeSlotCounting(ht, pg, base + i, matches);
+        }
+      }
+      return;
+    }
+    case Scheme::kSwp: {
+      const int d = int(std::max(1u, params.prefetch_distance));
+      for (int s = 0; s < std::min(d, n); ++s) {
+        mm.Prefetch(SlotBucket(ht, pg, s), sizeof(BucketHeader));
+      }
+      for (int j = 0; j < n; ++j) {
+        if (j + d < n) {
+          mm.Prefetch(SlotBucket(ht, pg, j + d), sizeof(BucketHeader));
+        }
+        ProbeSlotCounting(ht, pg, j, matches);
+      }
+      return;
+    }
+    case Scheme::kCoro: {
+#if HASHJOIN_HAS_COROUTINES
+      int next = 0;
+      RunCoroPipeline(mm, std::max(1u, params.group_size), [&](uint32_t) {
+        return ProbePageChain(mm, ht, pg, next, matches);
+      });
+      return;
+#else
+      HJ_CHECK(SchemeAvailable(scheme))
+          << "disk join configured with the coro scheme on a toolchain "
+             "without C++20 coroutines";
+      return;
+#endif
+    }
+  }
+}
+
+}  // namespace
+
 DiskGraceJoin::DiskGraceJoin(BufferManager* bm, const DiskJoinConfig& config)
     : bm_(bm), config_(config), page_size_(bm->config().disk.page_size) {
   HJ_CHECK(config_.num_partitions >= 1);
@@ -211,17 +312,8 @@ Status DiskGraceJoin::BuildAndProbe(
     if (page == nullptr) break;
     HJ_RETURN_IF_ERROR(VerifyPage(page));
     SlottedPage pg = SlottedPage::Attach(const_cast<uint8_t*>(page));
-    for (int s = 0; s < pg.slot_count(); ++s) {
-      uint16_t len;
-      const uint8_t* t = pg.GetTuple(s, &len);
-      uint32_t key;
-      std::memcpy(&key, t, 4);
-      ht.Probe(pg.GetHashCode(s), [&](const uint8_t* bt) {
-        uint32_t bkey;
-        std::memcpy(&bkey, bt, 4);
-        if (bkey == key) ++*matches;
-      });
-    }
+    ProbePageCounting(ht, pg, config_.join_scheme, config_.join_params,
+                      matches);
   }
   return Status::OK();
 }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "join/join_common.h"
 #include "storage/buffer_manager.h"
 #include "storage/relation.h"
 #include "util/status.h"
@@ -56,6 +57,16 @@ struct DiskJoinConfig {
   /// any time (a relaxed atomic read of the grant is the intended
   /// implementation).
   std::function<uint64_t()> dynamic_budget;
+
+  /// Execution policy of the join phase's in-memory probe loop (the
+  /// count-only probe over loaded partition pages). Every policy visits
+  /// the slots of a page in order, so the match count — and every other
+  /// observable — is scheme-independent; the scheme only decides how
+  /// bucket prefetches interleave with the probes.
+  Scheme join_scheme = Scheme::kGroup;
+
+  /// G / D / coroutine interleave width for `join_scheme`.
+  KernelParams join_params;
 
   /// The grant size at admission, bytes (`MemoryGrant::initial_bytes()`).
   /// Seeds the peak/trough watermarks the revoke/un-spill classification

@@ -12,17 +12,51 @@
 
 namespace hashjoin {
 
-/// The four CPU-cache strategies the paper compares for both phases
-/// (§7.1): the GRACE baseline, straightforward ("simple") prefetching,
-/// group prefetching (§4), and software-pipelined prefetching (§5).
+// Compile-feature gate for the coroutine execution policy. CMake probes
+// the toolchain with check_cxx_source_compiles and defines the macro to
+// 0 or 1; a build outside CMake falls back to the compiler's own
+// feature-test macro so plain `g++ -std=c++20` still works.
+#ifndef HASHJOIN_HAS_COROUTINES
+#if defined(__cpp_impl_coroutine) && __has_include(<coroutine>)
+#define HASHJOIN_HAS_COROUTINES 1
+#else
+#define HASHJOIN_HAS_COROUTINES 0
+#endif
+#endif
+
+/// The CPU-cache execution policies for both phases: the four the paper
+/// compares (§7.1) — the GRACE baseline, straightforward ("simple")
+/// prefetching, group prefetching (§4), and software-pipelined
+/// prefetching (§5) — plus the modern AMAC-style coroutine interleaving
+/// the paper's hand-scheduled state machines anticipate (coro_kernels.h).
 enum class Scheme {
   kBaseline,
   kSimple,
   kGroup,
   kSwp,
+  kCoro,
 };
 
+// Scheme <-> name round-trips below share one table in grace.cc; bench
+// drivers and tests must not hardcode their own scheme-string lists.
+
 const char* SchemeName(Scheme s);
+
+/// Parses a scheme name ("baseline", "simple", "group", "swp", "coro").
+/// Returns false — without touching `*out` — on an unknown name; callers
+/// surfacing the failure to users should print SchemeNameList().
+bool ParseScheme(const std::string& name, Scheme* out);
+
+/// Comma-separated list of every valid scheme name, for error messages.
+std::string SchemeNameList();
+
+/// Whether this build can execute `s`: false only for kCoro on a
+/// toolchain without C++20 coroutine support (see the CMake gate).
+bool SchemeAvailable(Scheme s);
+
+/// Every scheme this build can execute, in table order. Bench drivers
+/// iterate this so a newly added scheme shows up everywhere at once.
+std::vector<Scheme> AllSchemes();
 
 /// How the join phase obtains hash codes: reuse the 4-byte codes the
 /// partition phase memoized in the page slot area (§7.1 optimization), or

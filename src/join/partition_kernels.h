@@ -154,6 +154,15 @@ struct PartitionState {
   SlottedPage::Slot* slot = nullptr;  // slot entry to fill (stage 2)
   bool copy_pending = false;
   int32_t next_waiting = -1;  // SPP waiting queue link
+
+  /// Clears the per-tuple fields before a new tuple occupies this state
+  /// slot (stage 0); shared by every scheme (see ProbeState).
+  void ResetForTuple() {
+    dst = nullptr;
+    slot = nullptr;
+    copy_pending = false;
+    next_waiting = -1;
+  }
 };
 
 /// Code 0 of partitioning: read the next input tuple's key, compute the
@@ -180,8 +189,7 @@ inline bool PartitionStage0(PartitionContext<MM>& ctx, PartitionState& st,
   uint32_t p = (st.hash / ctx.hash_divisor) % ctx.num_partitions;
   mm.Busy(cfg.cost_hash);  // the partition-number integer divide
   st.sink = ctx.sinks->sink(p);
-  st.copy_pending = false;
-  st.next_waiting = -1;
+  st.ResetForTuple();
   if (prefetch) mm.Prefetch(st.sink, sizeof(PartitionSink));
   return true;
 }
@@ -411,55 +419,8 @@ void PartitionSwp(MM& mm, const Relation& input, PartitionSinkSet* sinks,
   sinks->FinalFlushAll();
 }
 
-/// Combined scheme (§7.4): simple prefetching while the output buffers
-/// fit in the L2 cache, group or software-pipelined prefetching beyond.
-template <typename MM>
-void PartitionCombined(MM& mm, const Relation& input,
-                       PartitionSinkSet* sinks, uint32_t num_partitions,
-                       const KernelParams& params, uint32_t l2_bytes,
-                       Scheme large_scheme = Scheme::kGroup,
-                       uint32_t hash_divisor = 1,
-                       PageRange range = PageRange{}) {
-  uint64_t working_set =
-      uint64_t(num_partitions) *
-      (sinks->page_size() + sizeof(PartitionSink));
-  // Only a fraction of L2 is effectively available to the output
-  // buffers: the input stream and miscellaneous structures continuously
-  // pollute it (the paper's "other miscellaneous data structures").
-  if (working_set <= l2_bytes / 4) {
-    PartitionSimple(mm, input, sinks, num_partitions, params,
-                    hash_divisor, range);
-  } else if (large_scheme == Scheme::kSwp) {
-    PartitionSwp(mm, input, sinks, num_partitions, params, hash_divisor,
-                 range);
-  } else {
-    PartitionGroup(mm, input, sinks, num_partitions, params, hash_divisor,
-                   range);
-  }
-}
-
-/// Dispatches on scheme.
-template <typename MM>
-void PartitionRelation(MM& mm, Scheme scheme, const Relation& input,
-                       PartitionSinkSet* sinks, uint32_t num_partitions,
-                       const KernelParams& params,
-                       uint32_t hash_divisor = 1,
-                       PageRange range = PageRange{}) {
-  switch (scheme) {
-    case Scheme::kBaseline:
-      return PartitionBaseline(mm, input, sinks, num_partitions, params,
-                               hash_divisor, range);
-    case Scheme::kSimple:
-      return PartitionSimple(mm, input, sinks, num_partitions, params,
-                             hash_divisor, range);
-    case Scheme::kGroup:
-      return PartitionGroup(mm, input, sinks, num_partitions, params,
-                            hash_divisor, range);
-    case Scheme::kSwp:
-      return PartitionSwp(mm, input, sinks, num_partitions, params,
-                          hash_divisor, range);
-  }
-}
+// The Scheme dispatchers (PartitionRelation, PartitionCombined) live in
+// exec_policy.h.
 
 }  // namespace hashjoin
 

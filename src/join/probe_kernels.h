@@ -30,6 +30,10 @@ struct ProbeContext {
   /// not yet written: later tuples of a group project their output-tail
   /// prefetch past them.
   uint64_t pending_out_bytes = 0;
+  /// Cache lines covered by stage-2 output-tail prefetches, counted with
+  /// the simulator's per-line convention — the kernel-side ledger the
+  /// crosscheck tests compare against the sim's prefetches_issued.
+  uint64_t claimed_prefetch_lines = 0;
 
   ProbeContext(MM* mm_in, const HashTable* ht_in, uint32_t build_size,
                uint32_t probe_size, const Relation& probe, Relation* out_in,
@@ -60,7 +64,47 @@ struct ProbeState {
   uint32_t ncand = 0;
   const uint8_t* cand[kMaxCand] = {};  // hash-matched array cells
   uint32_t projected_out = 0;  // outputs whose tail lines were prefetched
+
+  /// Clears the per-tuple fields before a new tuple occupies this state
+  /// slot (stage 0). The one reset definition every scheme shares: the
+  /// hand-copied reset list this replaces drifted once already (PR 1's
+  /// projected_out leak).
+  void ResetForTuple() {
+    alive = true;
+    has_array = false;
+    overflow = false;
+    inline_cand = nullptr;
+    ncand = 0;
+    projected_out = 0;
+  }
 };
+
+/// Per-pass accounting surfaced by the probe kernels (optional out
+/// parameter): the kernel-side ledger the scheme-equivalence and
+/// simulator crosscheck tests compare across schemes.
+struct ProbeStats {
+  uint64_t output_tuples = 0;
+  /// Cache lines of output tail claimed by stage-2 prefetches.
+  uint64_t claimed_prefetch_lines = 0;
+  /// Bytes claimed by stage 2 but never released by a stage 3 when the
+  /// pass ended; any nonzero value means a scheme dropped a state
+  /// mid-pipeline.
+  uint64_t leaked_out_bytes = 0;
+};
+
+/// End of a probe pass: flush the sink, surface the pass accounting, and
+/// check that every stage-2 output claim was released by its stage 3.
+template <typename MM>
+inline uint64_t FinishProbe(ProbeContext<MM>& ctx, ProbeStats* stats) {
+  ctx.sink.Final();
+  HJ_DCHECK(ctx.pending_out_bytes == 0);
+  if (stats != nullptr) {
+    stats->output_tuples = ctx.output_count;
+    stats->claimed_prefetch_lines = ctx.claimed_prefetch_lines;
+    stats->leaked_out_bytes = ctx.pending_out_bytes;
+  }
+  return ctx.output_count;
+}
 
 /// Compares full join keys and emits the concatenated output tuple on a
 /// real match. Returns 1 if an output tuple was produced.
@@ -124,12 +168,7 @@ inline bool ProbeStage0(ProbeContext<MM>& ctx, ProbeState& st,
   // Bucket number: hash code modulo table size (an integer divide).
   st.bucket = ctx.ht->bucket(ctx.ht->BucketIndex(st.hash));
   mm.Busy(cfg.cost_hash);
-  st.alive = true;
-  st.has_array = false;
-  st.overflow = false;
-  st.inline_cand = nullptr;
-  st.ncand = 0;
-  st.projected_out = 0;
+  st.ResetForTuple();
   if (prefetch) mm.Prefetch(st.bucket, sizeof(BucketHeader));
   return true;
 }
@@ -201,7 +240,14 @@ inline void ProbeStage2(ProbeContext<MM>& ctx, ProbeState& st,
     if (tail != nullptr) {
       uint32_t out_size = ctx.build_tuple_size + ctx.probe_tuple_size;
       uint32_t cands = st.ncand + (st.inline_cand != nullptr ? 1 : 0);
-      mm.Prefetch(tail + ctx.pending_out_bytes, size_t(out_size) * cands);
+      const uint8_t* dst = tail + ctx.pending_out_bytes;
+      const size_t bytes = size_t(out_size) * cands;
+      mm.Prefetch(dst, bytes);
+      // Ledger entry mirroring MemorySim::Prefetch's line loop, so the
+      // claimed count is comparable to the sim's prefetches_issued.
+      const uint64_t a = reinterpret_cast<uintptr_t>(dst);
+      ctx.claimed_prefetch_lines +=
+          (a + bytes - 1) / cfg.line_size - a / cfg.line_size + 1;
       st.projected_out = cands;
       ctx.pending_out_bytes += uint64_t(out_size) * cands;
     }
@@ -234,10 +280,15 @@ inline void ProbeStage3(ProbeContext<MM>& ctx, ProbeState& st) {
       ProbeCompareAndEmit(ctx, st.cand[i], st.tuple);
     }
   }
-  uint64_t claimed = uint64_t(st.projected_out) *
-                     (ctx.build_tuple_size + ctx.probe_tuple_size);
-  ctx.pending_out_bytes =
-      ctx.pending_out_bytes > claimed ? ctx.pending_out_bytes - claimed : 0;
+  // Release exactly what this tuple's stage 2 claimed. A tuple that
+  // took the bucket-empty early exit in stage 1 never reaches stage 2,
+  // so its projected_out is still 0 and this is a no-op — the audit
+  // invariant: stage-2 claims and stage-3 releases pair up one to one,
+  // across every interleaving the schemes produce.
+  const uint64_t claimed = uint64_t(st.projected_out) *
+                           (ctx.build_tuple_size + ctx.probe_tuple_size);
+  HJ_DCHECK(ctx.pending_out_bytes >= claimed);
+  ctx.pending_out_bytes -= claimed;
   st.projected_out = 0;
   st.alive = false;
 }
@@ -247,7 +298,7 @@ inline void ProbeStage3(ProbeContext<MM>& ctx, ProbeState& st) {
 template <typename MM>
 uint64_t ProbeBaseline(MM& mm, const Relation& probe, const HashTable& ht,
                        uint32_t build_tuple_size, const KernelParams& params,
-                       Relation* out) {
+                       Relation* out, ProbeStats* stats = nullptr) {
   ProbeContext<MM> ctx(&mm, &ht, build_tuple_size,
                        probe.schema().fixed_size(), probe, out,
                        params);
@@ -257,8 +308,7 @@ uint64_t ProbeBaseline(MM& mm, const Relation& probe, const HashTable& ht,
     ProbeStage2(ctx, st, false);
     ProbeStage3(ctx, st);
   }
-  ctx.sink.Final();
-  return ctx.output_count;
+  return FinishProbe(ctx, stats);
 }
 
 /// Simple prefetching (§7.1): prefetch each input page wholesale when the
@@ -269,51 +319,21 @@ uint64_t ProbeBaseline(MM& mm, const Relation& probe, const HashTable& ht,
 template <typename MM>
 uint64_t ProbeSimple(MM& mm, const Relation& probe, const HashTable& ht,
                      uint32_t build_tuple_size, const KernelParams& params,
-                     Relation* out) {
+                     Relation* out, ProbeStats* stats = nullptr) {
   ProbeContext<MM> ctx(&mm, &ht, build_tuple_size,
                        probe.schema().fixed_size(), probe, out,
                        params);
   ProbeState st;
-  while (true) {
-    const SlottedPage::Slot* slot = nullptr;
-    const uint8_t* tuple = nullptr;
-    bool new_page = false;
-    // Peek page boundary through the cursor by interposing on stage 0:
-    // stage 0 is inlined here to add the page prefetch.
-    if (!ctx.cursor.Next(&slot, &tuple, &new_page)) break;
-    if (new_page) {
-      mm.Prefetch(ctx.cursor.CurrentPageData(), ctx.cursor.page_size());
-    }
-    const auto& cfg = mm.config();
-    mm.Read(slot, sizeof(SlottedPage::Slot));
-    if (ctx.hash_mode == HashCodeMode::kMemoized) {
-      st.hash = slot->hash_code;
-      mm.Busy(cfg.cost_slot_bookkeeping);
-    } else {
-      uint32_t key;
-      mm.Read(tuple, 4);
-      std::memcpy(&key, tuple, 4);
-      st.hash = HashKey32(key);
-      mm.Busy(cfg.cost_hash);
-    }
-    st.tuple = tuple;
-    st.bucket = ctx.ht->bucket(ctx.ht->BucketIndex(st.hash));
-    mm.Busy(cfg.cost_hash);
-    st.alive = true;
-    st.has_array = false;
-    st.overflow = false;
-    st.inline_cand = nullptr;
-    st.ncand = 0;
-    st.projected_out = 0;  // same reset set as ProbeStage0
-    // Just-in-time prefetch: issued immediately before the visit, so the
-    // latency is barely overlapped.
-    mm.Prefetch(st.bucket, sizeof(BucketHeader));
+  // A prefetching stage 0 is exactly the simple scheme: the wholesale
+  // input-page prefetch on page entry plus the just-in-time bucket
+  // prefetch, issued immediately before the stage-1 visit so its
+  // latency is barely overlapped.
+  while (ProbeStage0(ctx, st, /*prefetch=*/true)) {
     ProbeStage1(ctx, st, /*prefetch=*/false);
     ProbeStage2(ctx, st, false);
     ProbeStage3(ctx, st);
   }
-  ctx.sink.Final();
-  return ctx.output_count;
+  return FinishProbe(ctx, stats);
 }
 
 /// Group prefetching (§4): strip-mine the probe loop into groups of G
@@ -322,7 +342,7 @@ uint64_t ProbeSimple(MM& mm, const Relation& probe, const HashTable& ht,
 template <typename MM>
 uint64_t ProbeGroup(MM& mm, const Relation& probe, const HashTable& ht,
                     uint32_t build_tuple_size, const KernelParams& params,
-                    Relation* out) {
+                    Relation* out, ProbeStats* stats = nullptr) {
   const uint32_t group = std::max(1u, params.group_size);
   ProbeContext<MM> ctx(&mm, &ht, build_tuple_size,
                        probe.schema().fixed_size(), probe, out,
@@ -353,8 +373,7 @@ uint64_t ProbeGroup(MM& mm, const Relation& probe, const HashTable& ht,
       ProbeStage3(ctx, states[i]);
     }
   }
-  ctx.sink.Final();
-  return ctx.output_count;
+  return FinishProbe(ctx, stats);
 }
 
 /// Software-pipelined prefetching (§5): each iteration runs stage 0 of
@@ -364,7 +383,7 @@ uint64_t ProbeGroup(MM& mm, const Relation& probe, const HashTable& ht,
 template <typename MM>
 uint64_t ProbeSwp(MM& mm, const Relation& probe, const HashTable& ht,
                   uint32_t build_tuple_size, const KernelParams& params,
-                  Relation* out) {
+                  Relation* out, ProbeStats* stats = nullptr) {
   const uint64_t d = std::max(1u, params.prefetch_distance);
   constexpr uint32_t kStages = 3;  // k = 3 dependent references
   ProbeContext<MM> ctx(&mm, &ht, build_tuple_size,
@@ -406,27 +425,12 @@ uint64_t ProbeSwp(MM& mm, const Relation& probe, const HashTable& ht,
     // no drain at all.
     if (n != UINT64_MAX && (n == 0 || j + 1 >= n + 3 * d)) break;
   }
-  ctx.sink.Final();
-  return ctx.output_count;
+  return FinishProbe(ctx, stats);
 }
 
-/// Dispatches on scheme.
-template <typename MM>
-uint64_t ProbePartition(MM& mm, Scheme scheme, const Relation& probe,
-                        const HashTable& ht, uint32_t build_tuple_size,
-                        const KernelParams& params, Relation* out) {
-  switch (scheme) {
-    case Scheme::kBaseline:
-      return ProbeBaseline(mm, probe, ht, build_tuple_size, params, out);
-    case Scheme::kSimple:
-      return ProbeSimple(mm, probe, ht, build_tuple_size, params, out);
-    case Scheme::kGroup:
-      return ProbeGroup(mm, probe, ht, build_tuple_size, params, out);
-    case Scheme::kSwp:
-      return ProbeSwp(mm, probe, ht, build_tuple_size, params, out);
-  }
-  return 0;
-}
+// The Scheme dispatcher (ProbePartition) lives in exec_policy.h, which
+// layers every execution policy — including the coroutine one — over
+// these stage functions.
 
 }  // namespace hashjoin
 

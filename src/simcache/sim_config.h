@@ -65,6 +65,12 @@ struct SimConfig {
   uint32_t cost_prefetch_issue = 1;  // instruction overhead of a prefetch
   uint32_t cost_stage_overhead_gp = 5;    // group-prefetch state handling
   uint32_t cost_stage_overhead_spp = 13;  // SPP circular-index/bookkeeping
+  /// Per-resume cost of the coroutine policy: scheduler dispatch plus the
+  /// frame save/restore a co_await suspension implies. Charged once per
+  /// coroutine resume, i.e. per stage executed — heavier than GP's
+  /// strip-mined loop bookkeeping, lighter than the paper's estimate for
+  /// a full function call, matching AMAC-style implementations.
+  uint32_t cost_stage_overhead_coro = 9;
 };
 
 }  // namespace sim

@@ -69,6 +69,19 @@ TEST(HjlintRingTest, IgnoresComparisonsAndComments) {
   EXPECT_TRUE(fs.empty());
 }
 
+TEST(HjlintRingTest, ExemptsCoroutineChains) {
+  // Inside a co_await function the in-flight state lives in coroutine
+  // frames; a `ring` there is round-robin scheduler bookkeeping, never
+  // the §5.3 bit-masked state ring, so the sizing idiom does not apply.
+  auto fs = Lint("src/join/coro.h",
+                "KernelCoro Chain(State& st, uint32_t width) {\n"
+                "  uint32_t ring = width;\n"
+                "  co_await KernelCoro::NextStage{};\n"
+                "  use(ring);\n"
+                "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
 // --- prefetch-stage-discipline --------------------------------------
 
 TEST(HjlintPrefetchTest, FlagsDerefInSameStage) {
@@ -103,6 +116,32 @@ TEST(HjlintPrefetchTest, AcceptsPrefetchConsumedInLaterStage) {
                 "  uint32_t n = st.bucket->count;\n"
                 "}\n");
   EXPECT_TRUE(fs.empty());
+}
+
+TEST(HjlintPrefetchTest, AcceptsCoAwaitAsStageBoundary) {
+  // The coroutine idiom: prefetch, suspend, dereference after resuming —
+  // the co_await is the stage boundary, other chains' work hides the
+  // miss while this one is suspended.
+  auto fs = Lint("src/join/coro_good.h",
+                "KernelCoro Chain(Ctx& ctx, State& st) {\n"
+                "  mm.Prefetch(st.bucket, sizeof(BucketHeader));\n"
+                "  co_await KernelCoro::NextStage{};\n"
+                "  uint32_t n = st.bucket->count;\n"
+                "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(HjlintPrefetchTest, FlagsCoroutineDerefBeforeSuspending) {
+  // Known-bad coroutine: dereferencing the prefetched address before
+  // the next co_await is the same just-in-time anti-pattern — the chain
+  // never suspended, so nothing overlapped the miss.
+  auto fs = Lint("src/join/coro_bad.h",
+                "KernelCoro Chain(Ctx& ctx, State& st) {\n"
+                "  mm.Prefetch(st.bucket, sizeof(BucketHeader));\n"
+                "  uint32_t n = st.bucket->count;\n"
+                "  co_await KernelCoro::NextStage{};\n"
+                "}\n");
+  EXPECT_TRUE(HasRule(fs, "prefetch-stage-discipline"));
 }
 
 TEST(HjlintPrefetchTest, IgnoresDeclarationsAndRanges) {
@@ -210,6 +249,18 @@ TEST(HjlintBenchSchemaTest, ChecksEveryDottedPathComponent) {
       "  obj.Set(\"wall_seconds\", JsonValue());\n");  // no "median"
   ASSERT_EQ(fs.size(), 1u);
   EXPECT_NE(fs[0].message.find("median"), std::string::npos);
+}
+
+TEST(HjlintBenchSchemaTest, AcceptsKeysEmittedByBenchDrivers) {
+  // Per-bench config keys ("scheme", "theta", ...) are Set() by the
+  // drivers, not the reporter envelope; the extra-emitter contents
+  // stand in for bench/*.cc here.
+  auto fs = LintBenchSchema(
+      "tools/bench_diff.cc",
+      "  const JsonValue* s = config->Find(\"scheme\");\n",
+      "src/perf/bench_reporter.cc", "  r.Set(\"name\", n);\n",
+      {"  config.Set(\"scheme\", SchemeName(scheme));\n"});
+  EXPECT_TRUE(fs.empty());
 }
 
 TEST(HjlintBenchSchemaTest, AcceptsMatchingSchemas) {

@@ -22,6 +22,7 @@ uint32_t KeyOf(const uint8_t* tuple) {
 class BuildSchemeTest : public ::testing::TestWithParam<Scheme> {};
 
 TEST_P(BuildSchemeTest, TableMatchesBaselineOracle) {
+  if (!SchemeAvailable(GetParam())) GTEST_SKIP();
   WorkloadSpec spec;
   spec.num_build_tuples = 5000;
   spec.tuple_size = 20;
@@ -54,6 +55,7 @@ TEST_P(BuildSchemeTest, TableMatchesBaselineOracle) {
 }
 
 TEST_P(BuildSchemeTest, SkewedKeysExerciseConflicts) {
+  if (!SchemeAvailable(GetParam())) GTEST_SKIP();
   // Heavy duplicates: many tuples of one group hash to the same bucket,
   // triggering the busy-bucket protocols (§4.4 / §5.3).
   Relation rel = GenerateSkewedRelation(4000, 16, 0.99, 50, 3);
@@ -81,6 +83,7 @@ TEST_P(BuildSchemeTest, SkewedKeysExerciseConflicts) {
 }
 
 TEST_P(BuildSchemeTest, AllDuplicateKeysSingleBucket) {
+  if (!SchemeAvailable(GetParam())) GTEST_SKIP();
   // Worst case: every tuple conflicts.
   Schema schema = Schema::KeyPayload(16);
   Relation rel(schema);
@@ -100,6 +103,7 @@ TEST_P(BuildSchemeTest, AllDuplicateKeysSingleBucket) {
 }
 
 TEST_P(BuildSchemeTest, EmptyInputIsFine) {
+  if (!SchemeAvailable(GetParam())) GTEST_SKIP();
   Relation rel(Schema::KeyPayload(16));
   RealMemory mm;
   HashTable ht(13);
@@ -109,7 +113,8 @@ TEST_P(BuildSchemeTest, EmptyInputIsFine) {
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, BuildSchemeTest,
                          ::testing::Values(Scheme::kBaseline, Scheme::kSimple,
-                                           Scheme::kGroup, Scheme::kSwp),
+                                           Scheme::kGroup, Scheme::kSwp,
+                                           Scheme::kCoro),
                          [](const auto& info) {
                            return SchemeName(info.param);
                          });
@@ -125,6 +130,7 @@ struct ProbeCase {
 class ProbeSchemeTest : public ::testing::TestWithParam<ProbeCase> {};
 
 TEST_P(ProbeSchemeTest, OutputMatchesExpectedExactly) {
+  if (!SchemeAvailable(GetParam().scheme)) GTEST_SKIP();
   WorkloadSpec spec;
   spec.num_build_tuples = 3000;
   spec.tuple_size = 24;
@@ -160,6 +166,7 @@ TEST_P(ProbeSchemeTest, OutputMatchesExpectedExactly) {
 }
 
 TEST_P(ProbeSchemeTest, ZeroMatchesWhenDisjoint) {
+  if (!SchemeAvailable(GetParam().scheme)) GTEST_SKIP();
   WorkloadSpec spec;
   spec.num_build_tuples = 1000;
   spec.tuple_size = 16;
@@ -186,6 +193,7 @@ TEST_P(ProbeSchemeTest, ZeroMatchesWhenDisjoint) {
 }
 
 TEST_P(ProbeSchemeTest, ManyMatchesPerProbeOverflowPath) {
+  if (!SchemeAvailable(GetParam().scheme)) GTEST_SKIP();
   // One build key duplicated far beyond the candidate buffer forces the
   // overflow rescan path.
   Schema schema = Schema::KeyPayload(16);
@@ -215,6 +223,7 @@ TEST_P(ProbeSchemeTest, ManyMatchesPerProbeOverflowPath) {
 }
 
 TEST_P(ProbeSchemeTest, EmptyProbeInput) {
+  if (!SchemeAvailable(GetParam().scheme)) GTEST_SKIP();
   Schema schema = Schema::KeyPayload(16);
   Relation build(schema);
   uint8_t t[16] = {};
@@ -243,7 +252,11 @@ INSTANTIATE_TEST_SUITE_P(
                       ProbeCase{Scheme::kSwp, 1, 1},
                       ProbeCase{Scheme::kSwp, 1, 2},
                       ProbeCase{Scheme::kSwp, 1, 7},
-                      ProbeCase{Scheme::kSwp, 1, 32}),
+                      ProbeCase{Scheme::kSwp, 1, 32},
+                      ProbeCase{Scheme::kCoro, 1, 1},
+                      ProbeCase{Scheme::kCoro, 2, 1},
+                      ProbeCase{Scheme::kCoro, 19, 1},
+                      ProbeCase{Scheme::kCoro, 97, 1}),
     [](const auto& info) {
       return std::string(SchemeName(info.param.scheme)) + "_g" +
              std::to_string(info.param.group_size) + "_d" +
@@ -255,6 +268,7 @@ INSTANTIATE_TEST_SUITE_P(
 class PartitionSchemeTest : public ::testing::TestWithParam<Scheme> {};
 
 TEST_P(PartitionSchemeTest, PreservesEveryTupleInRightPartition) {
+  if (!SchemeAvailable(GetParam())) GTEST_SKIP();
   Relation input = GenerateSourceRelation(20000, 20, 17);
   const uint32_t P = 13;
   std::vector<Relation> parts;
@@ -294,6 +308,7 @@ TEST_P(PartitionSchemeTest, PreservesEveryTupleInRightPartition) {
 }
 
 TEST_P(PartitionSchemeTest, SinglePartitionDegenerate) {
+  if (!SchemeAvailable(GetParam())) GTEST_SKIP();
   Relation input = GenerateSourceRelation(3000, 32, 5);
   std::vector<Relation> parts;
   parts.emplace_back(input.schema(), 2048);
@@ -306,6 +321,7 @@ TEST_P(PartitionSchemeTest, SinglePartitionDegenerate) {
 }
 
 TEST_P(PartitionSchemeTest, ManyPartitionsFewTuples) {
+  if (!SchemeAvailable(GetParam())) GTEST_SKIP();
   Relation input = GenerateSourceRelation(50, 16, 9);
   const uint32_t P = 97;
   std::vector<Relation> parts;
@@ -321,6 +337,7 @@ TEST_P(PartitionSchemeTest, ManyPartitionsFewTuples) {
 }
 
 TEST_P(PartitionSchemeTest, SkewedInputFloodsOnePartition) {
+  if (!SchemeAvailable(GetParam())) GTEST_SKIP();
   // All tuples share few keys: output buffers of hot partitions fill
   // constantly, exercising the full-page conflict protocols (§6).
   Relation input = GenerateSkewedRelation(10000, 20, 1.1, 4, 23);
@@ -351,6 +368,7 @@ TEST_P(PartitionSchemeTest, SkewedInputFloodsOnePartition) {
 }
 
 TEST_P(PartitionSchemeTest, VariableLengthTuplesSurvive) {
+  if (!SchemeAvailable(GetParam())) GTEST_SKIP();
   // Mixed tuple lengths (the slotted pages and partition copy paths are
   // length-driven, §7.1 "fixed length and variable length attributes").
   Relation input(Schema::KeyPayload(16), 1024);
@@ -388,7 +406,8 @@ TEST_P(PartitionSchemeTest, VariableLengthTuplesSurvive) {
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, PartitionSchemeTest,
                          ::testing::Values(Scheme::kBaseline, Scheme::kSimple,
-                                           Scheme::kGroup, Scheme::kSwp),
+                                           Scheme::kGroup, Scheme::kSwp,
+                                           Scheme::kCoro),
                          [](const auto& info) {
                            return SchemeName(info.param);
                          });
@@ -403,6 +422,7 @@ struct GraceCase {
 class GraceJoinTest : public ::testing::TestWithParam<GraceCase> {};
 
 TEST_P(GraceJoinTest, EndToEndCountsMatch) {
+  if (!SchemeAvailable(GetParam().scheme)) GTEST_SKIP();
   WorkloadSpec spec;
   spec.num_build_tuples = 20000;
   spec.tuple_size = 20;
@@ -438,6 +458,7 @@ TEST_P(GraceJoinTest, EndToEndCountsMatch) {
 }
 
 TEST_P(GraceJoinTest, NullOutputStillCounts) {
+  if (!SchemeAvailable(GetParam().scheme)) GTEST_SKIP();
   WorkloadSpec spec;
   spec.num_build_tuples = 5000;
   spec.tuple_size = 16;
@@ -464,7 +485,9 @@ INSTANTIATE_TEST_SUITE_P(
         GraceCase{Scheme::kGroup, GraceConfig::CacheMode::kDirect},
         GraceCase{Scheme::kGroup, GraceConfig::CacheMode::kTwoStep},
         GraceCase{Scheme::kBaseline, GraceConfig::CacheMode::kDirect},
-        GraceCase{Scheme::kBaseline, GraceConfig::CacheMode::kTwoStep}),
+        GraceCase{Scheme::kBaseline, GraceConfig::CacheMode::kTwoStep},
+        GraceCase{Scheme::kCoro, GraceConfig::CacheMode::kNone},
+        GraceCase{Scheme::kCoro, GraceConfig::CacheMode::kDirect}),
     [](const auto& info) {
       std::string name = SchemeName(info.param.scheme);
       switch (info.param.cache_mode) {

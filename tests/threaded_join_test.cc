@@ -145,6 +145,7 @@ class ThreadedJoinDeterminism
 
 TEST_P(ThreadedJoinDeterminism, SameOutputForAnyThreadCount) {
   const ThreadedCase& c = GetParam();
+  if (!SchemeAvailable(c.scheme)) GTEST_SKIP();
   Relation build = c.skewed
                        ? GenerateSkewedRelation(12000, 20, 0.9, 3000, 17)
                        : GenerateSourceRelation(12000, 20, 17);
@@ -192,7 +193,9 @@ INSTANTIATE_TEST_SUITE_P(
                       ThreadedCase{Scheme::kBaseline, true},
                       ThreadedCase{Scheme::kSimple, true},
                       ThreadedCase{Scheme::kGroup, true},
-                      ThreadedCase{Scheme::kSwp, true}),
+                      ThreadedCase{Scheme::kSwp, true},
+                      ThreadedCase{Scheme::kCoro, false},
+                      ThreadedCase{Scheme::kCoro, true}),
     [](const auto& info) {
       return std::string(SchemeName(info.param.scheme)) +
              (info.param.skewed ? "_skewed" : "_uniform");

@@ -52,6 +52,13 @@ bool CheckRecord(const JsonValue& rec, size_t index,
   if (config == nullptr || !config->is_object()) {
     return err("missing \"config\" object");
   }
+  // Execution-policy tagging: records are comparable across schemes only
+  // when the scheme is named, so when present it must carry a value.
+  const JsonValue* scheme = config->Find("scheme");
+  if (scheme != nullptr &&
+      (!scheme->is_string() || scheme->AsString().empty())) {
+    return err("\"config.scheme\" must be a non-empty string");
+  }
   const JsonValue* trials = rec.Find("trials");
   if (trials == nullptr || !trials->is_number() || trials->AsInt() < 1) {
     return err("missing \"trials\" >= 1");

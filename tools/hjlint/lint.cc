@@ -146,10 +146,44 @@ bool RuleEnabled(const std::vector<std::string>& rules,
 // within the next few lines must be exactly ring - 1.
 // ---------------------------------------------------------------------
 
+/// Index of the next column-0 `}` at or after `from` (function end under
+/// the project's formatting), or size() when none.
+size_t SegmentEnd(const std::vector<std::string>& code_lines, size_t from) {
+  size_t i = from;
+  while (i < code_lines.size() &&
+         !(code_lines[i].size() >= 1 && code_lines[i][0] == '}')) {
+    ++i;
+  }
+  return i;
+}
+
+/// True when the function segment [begin, end) suspends via co_await —
+/// a coroutine chain, where in-flight state lives in frames instead of
+/// an SPP ring and each co_await is a pipeline-stage boundary.
+bool SegmentIsCoroutine(const std::vector<std::string>& code_lines,
+                        size_t begin, size_t end) {
+  end = std::min(end, code_lines.size());
+  for (size_t i = begin; i < end; ++i) {
+    if (FindWord(code_lines[i], "co_await") != std::string::npos) return true;
+  }
+  return false;
+}
+
 void CheckRingRule(const std::string& path,
                    const std::vector<std::string>& code_lines,
                    std::vector<Finding>* findings) {
+  size_t seg_end = 0;
+  bool seg_coro = false;
   for (size_t i = 0; i < code_lines.size(); ++i) {
+    // Coroutine chains keep in-flight state in frames, not a bit-masked
+    // ring; a `ring` variable there is scheduler bookkeeping (iterated
+    // round-robin, never `j & mask`-indexed), so the SPP sizing idiom
+    // does not apply inside a co_await function.
+    if (i >= seg_end) {
+      seg_end = SegmentEnd(code_lines, i) + 1;
+      seg_coro = SegmentIsCoroutine(code_lines, i, seg_end);
+    }
+    if (seg_coro) continue;
     const std::string& line = code_lines[i];
     size_t rpos = FindWord(line, "ring");
     if (rpos == std::string::npos) continue;
@@ -328,6 +362,10 @@ void CheckPrefetchRule(const std::string& path,
         continue;
       }
       for (size_t i = call.line_idx + 1; i < seg_end; ++i) {
+        // A co_await is a pipeline-stage boundary: the coroutine
+        // suspends and other chains' work overlaps the miss, so a
+        // dereference after it is exactly the intended stage split.
+        if (FindWord(code_lines[i], "co_await") != std::string::npos) break;
         const std::string norm = NormalizeExpr(code_lines[i]);
         auto deref_at = [&](size_t pos) {
           // Word boundary on the left, then `->`, `[`, or leading `*`.
@@ -533,23 +571,30 @@ std::vector<std::pair<uint32_t, std::string>> CallStringLiterals(
 
 }  // namespace
 
-std::vector<Finding> LintBenchSchema(const std::string& diff_path,
-                                     const std::string& diff_contents,
-                                     const std::string& reporter_path,
-                                     const std::string& reporter_contents) {
+std::vector<Finding> LintBenchSchema(
+    const std::string& diff_path, const std::string& diff_contents,
+    const std::string& reporter_path, const std::string& reporter_contents,
+    const std::vector<std::string>& extra_emitter_contents) {
   std::vector<Finding> findings;
   std::set<std::string> emitted;
   for (auto& [line, key] : CallStringLiterals(reporter_contents, "Set")) {
     (void)line;
     emitted.insert(key);
   }
+  for (const std::string& contents : extra_emitter_contents) {
+    for (auto& [line, key] : CallStringLiterals(contents, "Set")) {
+      (void)line;
+      emitted.insert(key);
+    }
+  }
   auto check = [&](uint32_t line, const std::string& key) {
     if (emitted.count(key)) return;
     findings.push_back(
         {"bench-schema-sync", diff_path, line,
-         "bench_diff reads key \"" + key + "\" but " + reporter_path +
-             " never emits it — the checker and the reporter schema "
-             "drifted apart"});
+         "bench_diff reads key \"" + key + "\" but neither " +
+             reporter_path +
+             " nor any bench emitter sets it — the checker and the "
+             "reporter schema drifted apart"});
   };
   for (auto& [line, key] : CallStringLiterals(diff_contents, "Find")) {
     check(line, key);
@@ -638,8 +683,22 @@ std::vector<Finding> LintTree(const std::vector<std::string>& paths,
     auto diff = ReadFileContents(diff_path);
     auto reporter = ReadFileContents(reporter_path);
     if (diff.ok() && reporter.ok()) {
-      std::vector<Finding> schema = LintBenchSchema(
-          diff_path, diff.value(), reporter_path, reporter.value());
+      // The per-bench config keys ("scheme", "theta", ...) are emitted
+      // by the drivers, not the reporter envelope; harvest them too so
+      // bench_diff may validate keys any bench sets.
+      std::vector<std::string> extra;
+      std::error_code ec;
+      for (auto it =
+               std::filesystem::directory_iterator(root + "/bench", ec);
+           !ec && it != std::filesystem::directory_iterator(); ++it) {
+        if (it->is_regular_file() && HasLintableExtension(it->path())) {
+          auto contents = ReadFileContents(it->path().string());
+          if (contents.ok()) extra.push_back(std::move(contents.value()));
+        }
+      }
+      std::vector<Finding> schema =
+          LintBenchSchema(diff_path, diff.value(), reporter_path,
+                          reporter.value(), extra);
       findings.insert(findings.end(), schema.begin(), schema.end());
     }
   }

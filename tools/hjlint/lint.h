@@ -42,14 +42,15 @@ std::vector<Finding> LintFile(const std::string& path,
                               const std::vector<std::string>& rules);
 
 /// Cross-file rule bench-schema-sync: every JSON key tools/bench_diff.cc
-/// looks up (Find/FindPath string literals) must be a key
-/// src/perf/bench_reporter.cc emits (Set string literals), so
-/// `bench_diff --check` can never go stale against the reporter. No-op
-/// (no findings) when either file is absent.
-std::vector<Finding> LintBenchSchema(const std::string& diff_path,
-                                     const std::string& diff_contents,
-                                     const std::string& reporter_path,
-                                     const std::string& reporter_contents);
+/// looks up (Find/FindPath string literals) must be a key some emitter
+/// Set()s — src/perf/bench_reporter.cc for the record envelope, plus
+/// any extra emitter contents (LintTree passes every bench/*.cc, which
+/// emit the per-bench config keys like "scheme"). No-op (no findings)
+/// when either primary file is absent.
+std::vector<Finding> LintBenchSchema(
+    const std::string& diff_path, const std::string& diff_contents,
+    const std::string& reporter_path, const std::string& reporter_contents,
+    const std::vector<std::string>& extra_emitter_contents = {});
 
 /// Runs every rule (filtered by `rules`; empty = all) over the .h/.cc/
 /// .cpp files found under `paths` (files or directories, recursed).
