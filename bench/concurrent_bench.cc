@@ -16,9 +16,16 @@
 // metrics (revoke_spills, queue tail latency) cannot silently drop out
 // of the schema.
 //
+// --revoke-storm replaces the default sections with rapid admit/revoke
+// cycles at 2x memory oversubscription: every query desires its whole
+// working set, the budget covers half of the concurrent demand, and the
+// robust hybrid join absorbs the churn — all queries must finish with
+// correct counts, every degradation classified by reason. The storm's
+// smoke fixture gates on tail_latency.run_p99 and total_io_bytes.
+//
 //   concurrent_bench --queries=8 --mem-budget=BYTES [--smoke] [--json]
 //                    [--max-concurrent=4] [--pool-threads=4]
-//                    [--base-tuples=20000] [--overload=N]
+//                    [--base-tuples=20000] [--overload=N] [--revoke-storm]
 
 #include <algorithm>
 #include <cstdio>
@@ -72,6 +79,10 @@ BufferManagerConfig BenchDisks(bool smoke) {
 /// One query's body: its own disk array (scans are single-user), the
 /// live grant wired into both the join's sizing decisions and the
 /// scanner's read-ahead window, recovery counters diffed into stats.
+/// Runs the robust dynamic hybrid join: fan-out from the observed input
+/// histogram, partitions resident until a revoke evicts smallest-loss
+/// victims (with the grant's revoke listener as the eager hint), role
+/// reversal and the full degradation ladder on the spilled pairs.
 StatusOr<uint64_t> RunQuery(QueryContext& ctx, const QuerySpec& spec,
                             bool smoke) {
   BufferManager bm(BenchDisks(smoke));
@@ -81,6 +92,9 @@ StatusOr<uint64_t> RunQuery(QueryContext& ctx, const QuerySpec& spec,
   cfg.num_partitions = spec.num_partitions;
   cfg.dynamic_budget = ctx.GrantFn();
   cfg.initial_grant_bytes = ctx.grant().initial_bytes();
+  cfg.adaptive_fanout = true;
+  cfg.hybrid_residency = true;
+  cfg.install_revoke_listener = ctx.RevokeListenerInstaller();
   DiskGraceJoin join(&bm, cfg);
   HJ_ASSIGN_OR_RETURN(auto build, join.StoreRelation(spec.workload->build));
   HJ_ASSIGN_OR_RETURN(auto probe, join.StoreRelation(spec.workload->probe));
@@ -116,12 +130,264 @@ void FinishRawRecord(JsonValue* rec) {
            "trial harness");
 }
 
+JsonValue RecoveryObject(const DiskJoinRecovery& r) {
+  JsonValue recovery = JsonValue::Object();
+  recovery.Set("revoke_spills", r.revoke_spills);
+  recovery.Set("regrant_unspills", r.regrant_unspills);
+  recovery.Set("recursive_splits", r.recursive_splits);
+  recovery.Set("chunked_fallbacks", r.chunked_fallbacks);
+  recovery.Set("role_reversals", r.role_reversals);
+  recovery.Set("bnl_fallbacks", r.bnl_fallbacks);
+  recovery.Set("victim_spills", r.victim_spills);
+  recovery.Set("victim_unspills", r.victim_unspills);
+  return recovery;
+}
+
+/// Every over-budget partition pair resolved through exactly one ladder
+/// rung, so these counts classify all degradations — there is no
+/// "bailed out unexplained" bucket.
+JsonValue DegradationObject(const DiskJoinRecovery& r) {
+  JsonValue deg = JsonValue::Object();
+  deg.Set("role_reversal", r.role_reversals);
+  deg.Set("recursive_split", r.recursive_splits);
+  deg.Set("chunked_build", r.chunked_fallbacks);
+  deg.Set("block_nested_loop", r.bnl_fallbacks);
+  deg.Set("victim_spill", r.victim_spills);
+  deg.Set("victim_unspill", r.victim_unspills);
+  return deg;
+}
+
+JsonValue IoObject(const IoRecoveryStats& io) {
+  JsonValue out = JsonValue::Object();
+  out.Set("read_retries", io.read_retries);
+  out.Set("write_retries", io.write_retries);
+  out.Set("injected_faults", io.injected_faults);
+  out.Set("bytes_read", io.bytes_read);
+  out.Set("bytes_written", io.bytes_written);
+  return out;
+}
+
+/// --revoke-storm: rapid admit/revoke cycles at 2x memory
+/// oversubscription. Every query desires its full working set but
+/// concedes a small admission minimum, and the broker budget covers only
+/// half of what the concurrently running queries want — so each
+/// admission revokes the running queries' surplus and each completion
+/// re-grows them, a grant churn storm. The robust hybrid join must ride
+/// it out: all queries complete with correct match counts and every
+/// over-budget moment is classified by a degradation reason.
+int RunRevokeStorm(const FlagParser& flags, bool smoke) {
+  const int num_queries = int(flags.GetInt("queries", 8));
+  const uint64_t base_tuples =
+      uint64_t(flags.GetInt("base-tuples", smoke ? 2500 : 15000));
+
+  const uint64_t pages = (base_tuples * (kTupleSize + 6)) / (8 * kKiB) + 1;
+  const uint64_t working_set =
+      pages * 8 * kKiB + HashTable::EstimateBytes(base_tuples);
+
+  SchedulerConfig sched_cfg;
+  sched_cfg.max_concurrent = uint32_t(flags.GetInt("max-concurrent", 4));
+  sched_cfg.pool_threads = uint32_t(flags.GetInt("pool-threads", 4));
+  sched_cfg.max_queue = uint32_t(std::max(1, num_queries));
+  // Half of the concurrent queries' combined desire = 2x oversubscribed.
+  const uint64_t mem_budget = uint64_t(flags.GetInt(
+      "mem-budget", int64_t(working_set * sched_cfg.max_concurrent / 2)));
+  sched_cfg.memory_budget = mem_budget;
+
+  std::vector<QuerySpec> specs;
+  for (int q = 0; q < num_queries; ++q) {
+    QuerySpec spec;
+    spec.name = "s" + std::to_string(q);
+    spec.priority = q % 3;  // mixed priorities keep admissions reordering
+    WorkloadSpec w;
+    w.tuple_size = kTupleSize;
+    w.seed = uint64_t(300 + q);
+    w.num_build_tuples = base_tuples;
+    spec.min_grant = std::max<uint64_t>(mem_budget / 8, 8 * kKiB);
+    spec.desired_grant = working_set;
+    spec.workload = std::make_unique<JoinWorkload>(GenerateJoinWorkload(w));
+    specs.push_back(std::move(spec));
+  }
+
+  std::printf("=== Revoke storm: %d queries, budget %.1f KiB, "
+              "working set %.1f KiB each, max_concurrent=%u "
+              "(%.1fx oversubscribed) ===\n\n",
+              num_queries, double(mem_budget) / 1024.0,
+              double(working_set) / 1024.0, sched_cfg.max_concurrent,
+              double(working_set) * double(sched_cfg.max_concurrent) /
+                  double(mem_budget));
+
+  JoinScheduler sched(sched_cfg);
+  for (const QuerySpec& spec : specs) {
+    JoinRequest req;
+    req.name = spec.name;
+    req.priority = spec.priority;
+    req.min_grant_bytes = spec.min_grant;
+    req.desired_grant_bytes = spec.desired_grant;
+    req.body = [&spec, smoke](QueryContext& ctx) {
+      return RunQuery(ctx, spec, smoke);
+    };
+    auto id = sched.Submit(std::move(req));
+    HJ_CHECK(id.ok()) << "storm query rejected: " << id.status().ToString();
+  }
+  ServiceStats stats = sched.Drain();
+
+  // --- verification + degradation tally ---
+  std::printf("%-10s %-8s %9s %9s %12s %7s %7s %7s %7s %7s\n", "query",
+              "status", "queue_s", "run_s", "output", "revokes", "v_spill",
+              "unspill", "reverse", "split");
+  uint64_t bad_counts = 0, total_io_bytes = 0;
+  DiskJoinRecovery deg;  // summed degradation ledger across queries
+  std::vector<double> run_seconds, queue_seconds;
+  for (const QueryStats& qs : stats.queries) {
+    const QuerySpec* spec = nullptr;
+    for (const QuerySpec& s : specs) {
+      if (s.name == qs.name) spec = &s;
+    }
+    HJ_CHECK(spec != nullptr) << "unknown storm query " << qs.name;
+    bool correct =
+        qs.status.ok() && qs.output_tuples == spec->workload->expected_matches;
+    if (!correct) ++bad_counts;
+    total_io_bytes += qs.io.bytes_read + qs.io.bytes_written;
+    deg.revoke_spills += qs.recovery.revoke_spills;
+    deg.regrant_unspills += qs.recovery.regrant_unspills;
+    deg.recursive_splits += qs.recovery.recursive_splits;
+    deg.chunked_fallbacks += qs.recovery.chunked_fallbacks;
+    deg.role_reversals += qs.recovery.role_reversals;
+    deg.bnl_fallbacks += qs.recovery.bnl_fallbacks;
+    deg.victim_spills += qs.recovery.victim_spills;
+    deg.victim_unspills += qs.recovery.victim_unspills;
+    run_seconds.push_back(qs.run_seconds);
+    queue_seconds.push_back(qs.queue_seconds);
+    std::printf("%-10s %-8s %9.4f %9.4f %12llu %7llu %7llu %7llu %7llu "
+                "%7llu%s\n",
+                qs.name.c_str(), qs.status.ok() ? "ok" : "FAILED",
+                qs.queue_seconds, qs.run_seconds,
+                (unsigned long long)qs.output_tuples,
+                (unsigned long long)qs.grant_revokes,
+                (unsigned long long)qs.recovery.victim_spills,
+                (unsigned long long)qs.recovery.victim_unspills,
+                (unsigned long long)qs.recovery.role_reversals,
+                (unsigned long long)qs.recovery.recursive_splits,
+                correct ? "" : "  << WRONG COUNT");
+  }
+  const bool service_ok =
+      bad_counts == 0 && stats.failed == 0 &&
+      stats.completed == uint64_t(num_queries);
+  std::printf("\nstorm: %llu completed, %llu failed; makespan %.4fs; "
+              "%llu broker revokes, %llu re-grows\n",
+              (unsigned long long)stats.completed,
+              (unsigned long long)stats.failed, stats.makespan_seconds,
+              (unsigned long long)sched.broker().total_revokes(),
+              (unsigned long long)sched.broker().total_regrows());
+  std::printf("degradations: %llu reverse, %llu split, %llu chunked, "
+              "%llu bnl, %llu victim-spill, %llu victim-unspill; "
+              "total I/O %.1f KiB\n",
+              (unsigned long long)deg.role_reversals,
+              (unsigned long long)deg.recursive_splits,
+              (unsigned long long)deg.chunked_fallbacks,
+              (unsigned long long)deg.bnl_fallbacks,
+              (unsigned long long)deg.victim_spills,
+              (unsigned long long)deg.victim_unspills,
+              double(total_io_bytes) / 1024.0);
+  if (!service_ok) {
+    std::printf("FAILURE: %llu queries wrong or failed\n",
+                (unsigned long long)(bad_counts + stats.failed));
+  }
+
+  if (flags.Has("json")) {
+    perf::BenchReporter::Options opt;
+    opt.bench_name = "concurrent_storm";
+    std::string path = flags.GetString("json", "");
+    if (!path.empty() && path != "true") opt.output_path = path;
+    opt.trials = 1;
+    opt.warmup = 0;
+    opt.collect_counters = false;
+    perf::BenchReporter reporter(std::move(opt));
+
+    for (const QueryStats& qs : stats.queries) {
+      const QuerySpec* spec = nullptr;
+      for (const QuerySpec& s : specs) {
+        if (s.name == qs.name) spec = &s;
+      }
+      if (spec == nullptr) continue;
+      JsonValue rec = JsonValue::Object();
+      rec.Set("name", "storm/" + qs.name);
+      JsonValue config = JsonValue::Object();
+      config.Set("build_tuples", spec->workload->build.num_tuples());
+      config.Set("probe_tuples", spec->workload->probe.num_tuples());
+      config.Set("min_grant_bytes", spec->min_grant);
+      config.Set("desired_grant_bytes", spec->desired_grant);
+      rec.Set("config", std::move(config));
+      rec.Set("wall_seconds", WallObject(qs.run_seconds));
+      FinishRawRecord(&rec);
+      rec.Set("status", qs.status.ok() ? "ok" : qs.status.ToString());
+      rec.Set("queue_seconds", qs.queue_seconds);
+      rec.Set("outputs", qs.output_tuples);
+      rec.Set("verified",
+              qs.output_tuples == spec->workload->expected_matches);
+      JsonValue grant = JsonValue::Object();
+      grant.Set("initial_bytes", qs.grant_initial_bytes);
+      grant.Set("low_bytes", qs.grant_low_bytes);
+      grant.Set("final_bytes", qs.grant_final_bytes);
+      grant.Set("revokes", qs.grant_revokes);
+      grant.Set("regrows", qs.grant_regrows);
+      rec.Set("grant", std::move(grant));
+      rec.Set("recovery", RecoveryObject(qs.recovery));
+      rec.Set("degradation_reason", DegradationObject(qs.recovery));
+      rec.Set("io_recovery", IoObject(qs.io));
+      rec.Set("total_io_bytes", qs.io.bytes_read + qs.io.bytes_written);
+      reporter.AddRawRecord(std::move(rec));
+    }
+
+    JsonValue rec = JsonValue::Object();
+    rec.Set("name", "storm");
+    JsonValue config = JsonValue::Object();
+    config.Set("queries", num_queries);
+    config.Set("mem_budget", mem_budget);
+    config.Set("working_set", working_set);
+    config.Set("max_concurrent", sched_cfg.max_concurrent);
+    config.Set("pool_threads", sched_cfg.pool_threads);
+    rec.Set("config", std::move(config));
+    rec.Set("wall_seconds", WallObject(stats.makespan_seconds));
+    FinishRawRecord(&rec);
+    rec.Set("completed", stats.completed);
+    rec.Set("failed", stats.failed);
+    rec.Set("broker_revokes", sched.broker().total_revokes());
+    rec.Set("broker_regrows", sched.broker().total_regrows());
+    rec.Set("degradation_reason", DegradationObject(deg));
+    rec.Set("total_io_bytes", total_io_bytes);
+    rec.Set("verified", service_ok);
+    JsonValue tail = JsonValue::Object();
+    tail.Set("run_p50", Percentile(run_seconds, 0.5));
+    tail.Set("run_p95", Percentile(run_seconds, 0.95));
+    tail.Set("run_p99", Percentile(run_seconds, 0.99));
+    tail.Set("run_max", Percentile(run_seconds, 1.0));
+    tail.Set("queue_p50", Percentile(queue_seconds, 0.5));
+    tail.Set("queue_p95", Percentile(queue_seconds, 0.95));
+    tail.Set("queue_p99", Percentile(queue_seconds, 0.99));
+    tail.Set("queue_max", Percentile(queue_seconds, 1.0));
+    rec.Set("tail_latency", std::move(tail));
+    reporter.AddRawRecord(std::move(rec));
+
+    Status st = reporter.Write();
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n",
+                   reporter.output_path().c_str(), st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu records)\n", reporter.output_path().c_str(),
+                reporter.doc().Find("records")->size());
+  }
+  return service_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   FlagParser flags;
   flags.Parse(argc, argv);
   const bool smoke = flags.Has("smoke");
+  if (flags.Has("revoke-storm")) return RunRevokeStorm(flags, smoke);
   const int num_queries = int(flags.GetInt("queries", 8));
   const uint64_t base_tuples =
       uint64_t(flags.GetInt("base-tuples", smoke ? 3000 : 20000));
@@ -240,6 +506,7 @@ int main(int argc, char** argv) {
               "status", "queue_s", "run_s", "output", "seq_s", "grant0",
               "grantL", "revokes", "rv_spills");
   uint64_t total_revoke_spills = 0, total_unspills = 0, bad_counts = 0;
+  uint64_t total_io_bytes = 0;
   std::vector<double> run_seconds, queue_seconds;
   for (const QueryStats& qs : stats.queries) {
     const QuerySpec* spec = nullptr;
@@ -252,6 +519,7 @@ int main(int argc, char** argv) {
     if (!correct) ++bad_counts;
     total_revoke_spills += qs.recovery.revoke_spills;
     total_unspills += qs.recovery.regrant_unspills;
+    total_io_bytes += qs.io.bytes_read + qs.io.bytes_written;
     run_seconds.push_back(qs.run_seconds);
     queue_seconds.push_back(qs.queue_seconds);
     std::printf("%-10s %-8s %9.4f %9.4f %12llu %9.4f %6lluK %6lluK %7llu "
@@ -340,17 +608,10 @@ int main(int argc, char** argv) {
       grant.Set("revokes", qs.grant_revokes);
       grant.Set("regrows", qs.grant_regrows);
       rec.Set("grant", std::move(grant));
-      JsonValue recovery = JsonValue::Object();
-      recovery.Set("revoke_spills", qs.recovery.revoke_spills);
-      recovery.Set("regrant_unspills", qs.recovery.regrant_unspills);
-      recovery.Set("recursive_splits", qs.recovery.recursive_splits);
-      recovery.Set("chunked_fallbacks", qs.recovery.chunked_fallbacks);
-      rec.Set("recovery", std::move(recovery));
-      JsonValue io = JsonValue::Object();
-      io.Set("read_retries", qs.io.read_retries);
-      io.Set("write_retries", qs.io.write_retries);
-      io.Set("injected_faults", qs.io.injected_faults);
-      rec.Set("io_recovery", std::move(io));
+      rec.Set("recovery", RecoveryObject(qs.recovery));
+      rec.Set("degradation_reason", DegradationObject(qs.recovery));
+      rec.Set("io_recovery", IoObject(qs.io));
+      rec.Set("total_io_bytes", qs.io.bytes_read + qs.io.bytes_written);
       rec.Set("readahead_throttles", qs.readahead_throttles);
       reporter.AddRawRecord(std::move(rec));
     }
@@ -375,13 +636,16 @@ int main(int argc, char** argv) {
     rec.Set("regrant_unspills", total_unspills);
     rec.Set("broker_revokes", sched.broker().total_revokes());
     rec.Set("broker_regrows", sched.broker().total_regrows());
+    rec.Set("total_io_bytes", total_io_bytes);
     rec.Set("verified", service_ok);
     JsonValue tail = JsonValue::Object();
     tail.Set("run_p50", Percentile(run_seconds, 0.5));
     tail.Set("run_p95", Percentile(run_seconds, 0.95));
+    tail.Set("run_p99", Percentile(run_seconds, 0.99));
     tail.Set("run_max", Percentile(run_seconds, 1.0));
     tail.Set("queue_p50", Percentile(queue_seconds, 0.5));
     tail.Set("queue_p95", Percentile(queue_seconds, 0.95));
+    tail.Set("queue_p99", Percentile(queue_seconds, 0.99));
     tail.Set("queue_max", Percentile(queue_seconds, 1.0));
     rec.Set("tail_latency", std::move(tail));
     reporter.AddRawRecord(std::move(rec));

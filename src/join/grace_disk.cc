@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
+#include <utility>
 
 #include "hash/hash_func.h"
 #include "hash/hash_table.h"
@@ -153,7 +155,23 @@ void DiskGraceJoin::QueueWritePage(BufferManager::FileId file,
   SlottedPage pg = SlottedPage::Attach(page_bytes);
   FileStats& fs = file_stats_[file];
   for (int s = 0; s < pg.slot_count(); ++s) {
-    fs.data_bytes += pg.GetSlot(s)->length;
+    uint16_t len = 0;
+    const uint8_t* t = pg.GetTuple(s, &len);
+    fs.data_bytes += len;
+    // Histogram + uniformity sampling for the adaptive fan-out and the
+    // block-nested-loop detector. Level-0 routing hashes the 4-byte key,
+    // and partition files memoize exactly that hash, so one key hash
+    // serves both consumers.
+    uint32_t key;
+    std::memcpy(&key, t, 4);
+    const uint32_t hash = HashKey32(key);
+    ++fs.hist[hash % FileStats::kHistBins];
+    if (!fs.has_tuples) {
+      fs.first_hash = hash;
+      fs.has_tuples = true;
+    } else if (hash != fs.first_hash) {
+      fs.uniform_hash = false;
+    }
   }
   fs.tuples += pg.slot_count();
   if (config_.page_checksums) pg.StampChecksum();
@@ -246,14 +264,20 @@ Status DiskGraceJoin::PartitionInto(
 
 StatusOr<std::vector<BufferManager::FileId>> DiskGraceJoin::Partition(
     BufferManager::FileId input, DiskPhaseStats* stats) {
-  std::vector<BufferManager::FileId> part_files(config_.num_partitions);
-  for (uint32_t p = 0; p < config_.num_partitions; ++p) {
+  return Partition(input, stats,
+                   ChooseFanout(input, /*level=*/0, EffectiveBudget()));
+}
+
+StatusOr<std::vector<BufferManager::FileId>> DiskGraceJoin::Partition(
+    BufferManager::FileId input, DiskPhaseStats* stats, uint32_t fanout) {
+  HJ_CHECK(fanout >= 1);
+  std::vector<BufferManager::FileId> part_files(fanout);
+  for (uint32_t p = 0; p < fanout; ++p) {
     part_files[p] = bm_->CreateFile();
   }
   Status st;
   DiskPhaseStats measured = Measure([&] {
-    st = PartitionInto(input, part_files, config_.num_partitions,
-                       /*level=*/0);
+    st = PartitionInto(input, part_files, fanout, /*level=*/0);
   });
   if (stats != nullptr) *stats = measured;
   if (!st.ok()) return st;
@@ -273,12 +297,92 @@ uint64_t DiskGraceJoin::EffectiveBudget() {
   return budget;
 }
 
+void DiskGraceJoin::RecordDegrade(DegradeReason reason) {
+  switch (reason) {
+    case DegradeReason::kRoleReversal:
+      ++tally_.role_reversals;
+      break;
+    case DegradeReason::kRecursiveSplit:
+      ++tally_.recursive_splits;
+      break;
+    case DegradeReason::kChunkedBuild:
+      ++tally_.chunked_fallbacks;
+      break;
+    case DegradeReason::kBlockNestedLoop:
+      ++tally_.bnl_fallbacks;
+      break;
+    case DegradeReason::kVictimSpill:
+      ++tally_.victim_spills;
+      break;
+    case DegradeReason::kVictimUnspill:
+      ++tally_.victim_unspills;
+      break;
+  }
+}
+
+void DiskGraceJoin::ReverseRoles(BufferManager::FileId* build,
+                                 BufferManager::FileId* probe) {
+  std::swap(*build, *probe);
+}
+
+bool DiskGraceJoin::UniformHash(BufferManager::FileId file) const {
+  auto it = file_stats_.find(file);
+  if (it == file_stats_.end() || !it->second.has_tuples) return false;
+  return it->second.uniform_hash;
+}
+
+uint32_t DiskGraceJoin::ChooseFanout(BufferManager::FileId input,
+                                     uint32_t level, uint64_t budget) const {
+  const uint32_t fallback =
+      level == 0 ? config_.num_partitions : config_.overflow_fanout;
+  if (!config_.adaptive_fanout || budget == 0) return fallback;
+  auto it = file_stats_.find(input);
+  if (it == file_stats_.end() || it->second.tuples == 0) return fallback;
+  const FileStats& fs = it->second;
+  if (level > 0) {
+    // Deeper levels route on the level-salted rehash, which the key-hash
+    // histogram cannot project. Size the sub-fanout from the observed
+    // overflow of the partition being split: the smallest split whose
+    // even shares fit the budget, plus one part of headroom for the
+    // residual imbalance.
+    const uint64_t need = EstimateBuildBytes(input);
+    const uint64_t want = need / budget + 2;
+    const uint64_t cap = std::max(config_.overflow_fanout, 2u);
+    return uint32_t(std::min<uint64_t>(std::max<uint64_t>(want, 2), cap));
+  }
+  // Level 0 routes on hash % fanout, so for any fan-out dividing the
+  // histogram bin count, bin j lands in partition j % fanout and the
+  // largest partition's tuple count projects exactly. Pick the smallest
+  // power-of-two candidate whose projected largest build fits the
+  // budget — fewer partitions mean a larger in-memory hybrid fraction
+  // and fewer half-empty output buffers.
+  const double avg_bytes = double(fs.data_bytes) / double(fs.tuples);
+  for (uint32_t f = 1; f <= FileStats::kHistBins; f *= 2) {
+    if (f > config_.max_fanout) break;
+    uint64_t largest = 0;
+    for (uint32_t r = 0; r < f; ++r) {
+      uint64_t tuples = 0;
+      for (uint32_t j = r; j < FileStats::kHistBins; j += f) {
+        tuples += fs.hist[j];
+      }
+      largest = std::max(largest, tuples);
+    }
+    // Projected in-memory cost of the largest partition: its data plus
+    // slot overhead (the 9/8 slack), page-rounded, plus its hash table.
+    const uint64_t bytes = uint64_t(double(largest) * avg_bytes) * 9 / 8;
+    const uint64_t pages = bytes / page_size_ + 1;
+    const uint64_t need =
+        pages * uint64_t(page_size_) + HashTable::EstimateBytes(largest);
+    if (need <= budget) return f;
+  }
+  return std::min(config_.max_fanout, FileStats::kHistBins);
+}
+
 uint64_t DiskGraceJoin::EstimateBuildBytes(BufferManager::FileId file) const {
   uint64_t tuples = 0;
   auto it = file_stats_.find(file);
   if (it != file_stats_.end()) tuples = it->second.tuples;
-  return bm_->FileNumPages(file) * uint64_t(page_size_) +
-         HashTable::EstimateBytes(tuples);
+  return bm_->FileBytes(file) + HashTable::EstimateBytes(tuples);
 }
 
 void DiskGraceJoin::NoteBuildBytes(uint64_t pages, uint64_t tuples) {
@@ -321,7 +425,6 @@ Status DiskGraceJoin::BuildAndProbe(
 Status DiskGraceJoin::JoinChunked(BufferManager::FileId build,
                                   BufferManager::FileId probe,
                                   uint64_t* matches) {
-  ++tally_.chunked_fallbacks;
   std::vector<std::vector<uint8_t>> chunk;
   uint64_t chunk_tuples = 0;
   auto scan = bm_->OpenScan(build);
@@ -356,47 +459,140 @@ Status DiskGraceJoin::JoinChunked(BufferManager::FileId build,
   return Status::OK();
 }
 
+Status DiskGraceJoin::JoinInMemory(BufferManager::FileId build,
+                                   BufferManager::FileId probe,
+                                   uint64_t* matches) {
+  // Load the build partition (pages must outlive the hash table) and
+  // stream the probe partition against it.
+  std::vector<std::vector<uint8_t>> pages;
+  pages.reserve(bm_->FileNumPages(build));
+  uint64_t tuples = 0;
+  {
+    auto scan = bm_->OpenScan(build);
+    const uint8_t* page = nullptr;
+    while (true) {
+      HJ_RETURN_IF_ERROR(scan.NextPage(&page));
+      if (page == nullptr) break;
+      HJ_RETURN_IF_ERROR(VerifyPage(page));
+      pages.emplace_back(page, page + page_size_);
+      tuples += SlottedPage::Attach(pages.back().data()).slot_count();
+    }
+  }
+  return BuildAndProbe(pages, tuples, probe, matches);
+}
+
+Status DiskGraceJoin::RecurseSplit(
+    BufferManager::FileId probe,
+    const std::vector<BufferManager::FileId>& sub_build, uint32_t fanout,
+    uint32_t depth, uint64_t* matches) {
+  tally_.deepest_recursion = std::max(tally_.deepest_recursion, depth + 1);
+  std::vector<BufferManager::FileId> sub_probe(fanout);
+  for (uint32_t p = 0; p < fanout; ++p) {
+    sub_probe[p] = bm_->CreateFile();
+  }
+  HJ_RETURN_IF_ERROR(PartitionInto(probe, sub_probe, fanout, depth + 1));
+  for (uint32_t p = 0; p < fanout; ++p) {
+    HJ_RETURN_IF_ERROR(
+        JoinPartitionPair(sub_build[p], sub_probe[p], depth + 1, matches));
+  }
+  return Status::OK();
+}
+
+Status DiskGraceJoin::JoinBlockNestedLoop(BufferManager::FileId build,
+                                          BufferManager::FileId probe,
+                                          uint64_t* matches) {
+  // Single-hash partition: a hash table would be one long chain probed
+  // by every tuple, so compare the 4-byte keys directly. Blocks are raw
+  // build pages with no table overhead, so a block holds strictly more
+  // tuples than a chunk would — and each block costs one probe scan.
+  std::vector<std::vector<uint8_t>> block;
+  auto probe_block = [&]() -> Status {
+    if (block.empty()) return Status::OK();
+    NoteBuildBytes(block.size(), 0);
+    auto pscan = bm_->OpenScan(probe);
+    const uint8_t* ppage = nullptr;
+    while (true) {
+      HJ_RETURN_IF_ERROR(pscan.NextPage(&ppage));
+      if (ppage == nullptr) break;
+      HJ_RETURN_IF_ERROR(VerifyPage(ppage));
+      SlottedPage pp = SlottedPage::Attach(const_cast<uint8_t*>(ppage));
+      for (int ps = 0; ps < pp.slot_count(); ++ps) {
+        uint16_t plen = 0;
+        const uint8_t* pt = pp.GetTuple(ps, &plen);
+        uint32_t pkey;
+        std::memcpy(&pkey, pt, 4);
+        for (const auto& bytes : block) {
+          SlottedPage bp =
+              SlottedPage::Attach(const_cast<uint8_t*>(bytes.data()));
+          for (int bs = 0; bs < bp.slot_count(); ++bs) {
+            uint16_t blen = 0;
+            const uint8_t* bt = bp.GetTuple(bs, &blen);
+            uint32_t bkey;
+            std::memcpy(&bkey, bt, 4);
+            if (bkey == pkey) ++*matches;
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+  auto scan = bm_->OpenScan(build);
+  const uint8_t* page = nullptr;
+  while (true) {
+    HJ_RETURN_IF_ERROR(scan.NextPage(&page));
+    if (page == nullptr) break;
+    HJ_RETURN_IF_ERROR(VerifyPage(page));
+    // Per-page budget poll, like the chunked build: a revoke shrinks
+    // the current block, a re-grant widens the next one.
+    const uint64_t budget = EffectiveBudget();
+    if (budget != 0 && !block.empty() &&
+        (block.size() + 1) * uint64_t(page_size_) > budget) {
+      HJ_RETURN_IF_ERROR(probe_block());
+      block.clear();
+    }
+    block.emplace_back(page, page + page_size_);
+  }
+  return probe_block();
+}
+
 Status DiskGraceJoin::JoinPartitionPair(BufferManager::FileId build,
                                         BufferManager::FileId probe,
                                         uint32_t depth, uint64_t* matches) {
+  // Inner join: an empty side means no matches, whichever side it is.
+  if (bm_->FileNumPages(build) == 0 || bm_->FileNumPages(probe) == 0) {
+    return Status::OK();
+  }
   const uint64_t budget = EffectiveBudget();
-  const uint64_t build_pages = bm_->FileNumPages(build);
   const uint64_t need = EstimateBuildBytes(build);
   if (budget == 0 || need <= budget) {
     // Fits now — but if it would NOT have fit at the lowest budget this
     // join has been squeezed to, a grant re-growth recovered in-memory
     // work that a revoke had condemned to spill ("un-spill").
     if (budget != 0 && need > trough_budget_) ++tally_.regrant_unspills;
-    // Fits: load the build partition (pages must outlive the hash table)
-    // and stream the probe partition against it.
-    std::vector<std::vector<uint8_t>> pages;
-    pages.reserve(build_pages);
-    uint64_t tuples = 0;
-    {
-      auto scan = bm_->OpenScan(build);
-      const uint8_t* page = nullptr;
-      while (true) {
-        HJ_RETURN_IF_ERROR(scan.NextPage(&page));
-        if (page == nullptr) break;
-        HJ_RETURN_IF_ERROR(VerifyPage(page));
-        pages.emplace_back(page, page + page_size_);
-        tuples += SlottedPage::Attach(pages.back().data()).slot_count();
-      }
-    }
-    return BuildAndProbe(pages, tuples, probe, matches);
+    return JoinInMemory(build, probe, matches);
+  }
+
+  // Ladder rung 1 — role reversal: the planned build side turned out
+  // too big, but if the probe side fits, joining from the other end
+  // avoids spilling entirely. Counting is side-symmetric, so only the
+  // memory plan changes.
+  if (config_.role_reversal && EstimateBuildBytes(probe) <= budget) {
+    RecordDegrade(DegradeReason::kRoleReversal);
+    ReverseRoles(&build, &probe);
+    return JoinInMemory(build, probe, matches);
   }
 
   // Spilling — and if the partition would have fit at the peak budget,
   // this spill exists only because a revoke shrank the grant.
   if (need <= peak_budget_) ++tally_.revoke_spills;
 
-  if (depth < config_.max_recursion_depth) {
-    // Over budget: re-split the build side with the next level's salted
-    // hash and check that the split actually helped. A partition of one
-    // giant key re-hashes into a single sub-partition no matter the
-    // salt — recursing on it would burn all remaining levels for
-    // nothing, so no-progress splits go straight to the chunked build.
-    const uint32_t fanout = config_.overflow_fanout;
+  // Ladder rung 2 — recursive repartition with the next level's salted
+  // hash. A single-hash partition re-hashes into one sub-partition no
+  // matter the salt, so it skips recursion outright; the no-progress
+  // check below catches the skewed-but-not-uniform shapes.
+  if (depth < config_.max_recursion_depth && !UniformHash(build)) {
+    const uint64_t build_pages = bm_->FileNumPages(build);
+    const uint32_t fanout = ChooseFanout(build, depth + 1, budget);
     std::vector<BufferManager::FileId> sub_build(fanout);
     for (uint32_t p = 0; p < fanout; ++p) sub_build[p] = bm_->CreateFile();
     HJ_RETURN_IF_ERROR(PartitionInto(build, sub_build, fanout, depth + 1));
@@ -405,23 +601,348 @@ Status DiskGraceJoin::JoinPartitionPair(BufferManager::FileId build,
       largest = std::max(largest, bm_->FileNumPages(sub_build[p]));
     }
     if (largest < build_pages) {
-      ++tally_.recursive_splits;
-      tally_.deepest_recursion =
-          std::max(tally_.deepest_recursion, depth + 1);
-      std::vector<BufferManager::FileId> sub_probe(fanout);
-      for (uint32_t p = 0; p < fanout; ++p) {
-        sub_probe[p] = bm_->CreateFile();
-      }
-      HJ_RETURN_IF_ERROR(
-          PartitionInto(probe, sub_probe, fanout, depth + 1));
-      for (uint32_t p = 0; p < fanout; ++p) {
-        HJ_RETURN_IF_ERROR(JoinPartitionPair(sub_build[p], sub_probe[p],
-                                             depth + 1, matches));
-      }
-      return Status::OK();
+      RecordDegrade(DegradeReason::kRecursiveSplit);
+      return RecurseSplit(probe, sub_build, fanout, depth, matches);
     }
   }
+
+  // Rungs 3 and 4 hold one side in budget-sized pieces and re-scan the
+  // other per piece — so work off whichever side is cheaper to hold.
+  if (config_.role_reversal && EstimateBuildBytes(probe) < need) {
+    RecordDegrade(DegradeReason::kRoleReversal);
+    ReverseRoles(&build, &probe);
+  }
+
+  // Ladder rung 4 (last resort, checked first because it is a shape,
+  // not a size): every build tuple shares one hash code, so each chunk
+  // hash table would degenerate to a single chain — the block nested
+  // loop does the same comparisons without the table overhead.
+  if (UniformHash(build)) {
+    RecordDegrade(DegradeReason::kBlockNestedLoop);
+    return JoinBlockNestedLoop(build, probe, matches);
+  }
+
+  // Ladder rung 3 — chunked multipass build past the depth cap.
+  RecordDegrade(DegradeReason::kChunkedBuild);
   return JoinChunked(build, probe, matches);
+}
+
+/// Mutable bookkeeping of one hybrid Join() pass, shared by the driver
+/// and its spill/un-spill helpers. The residency object owns the
+/// resident pages; this owns the files, write cursors, and hash tables.
+struct DiskGraceJoin::HybridState {
+  std::vector<BufferManager::FileId> build_files;
+  std::vector<uint64_t> build_next_page;
+  /// File holds the COMPLETE build partition (safe to re-read, and a
+  /// second eviction of a re-admitted partition skips re-writing).
+  std::vector<char> build_on_disk;
+  std::vector<BufferManager::FileId> probe_files;
+  std::vector<char> probe_created;
+  std::vector<uint64_t> probe_next_page;
+  std::vector<std::unique_ptr<HashTable>> tables;
+  /// False during the build partition pass (an evicted partition's file
+  /// is still growing), true once the pass is complete.
+  bool probe_pass = false;
+};
+
+Status DiskGraceJoin::SpillVictim(PartitionResidency* res, uint32_t victim,
+                                  HybridState* st) {
+  std::vector<std::vector<uint8_t>> pages = res->Evict(victim);
+  if (!st->build_on_disk[victim]) {
+    // First eviction: write the resident pages out. During the build
+    // pass the partition's remaining tuples will go straight to the
+    // file, completing it by end of pass; a partition evicted during
+    // the probe pass is complete the moment these writes land.
+    for (auto& pg : pages) {
+      QueueWritePage(st->build_files[victim], st->build_next_page[victim]++,
+                     pg.data());
+    }
+    if (st->probe_pass) st->build_on_disk[victim] = 1;
+  }
+  // else: the file already holds the whole partition (this residency
+  // came from an un-spill) and dropping the pages costs no I/O.
+  st->tables[victim].reset();
+  return Status::OK();
+}
+
+Status DiskGraceJoin::EnforceResidencyBudget(PartitionResidency* res,
+                                             HybridState* st) {
+  uint64_t target = EffectiveBudget();
+  // Consume a pending revoke hint: the grant's revoke listener stored
+  // the post-revoke size the moment the broker took the memory, which
+  // can be tighter than the budget poll above observes (and arrives
+  // without waiting for the next poll).
+  const uint64_t hint =
+      revoke_hint_.exchange(UINT64_MAX, std::memory_order_relaxed);
+  if (hint != UINT64_MAX && hint != 0) {
+    peak_budget_ = std::max(peak_budget_, hint);
+    trough_budget_ = std::min(trough_budget_, hint);
+    if (target == 0 || hint < target) target = hint;
+  }
+  if (target == 0) return Status::OK();  // unlimited
+  while (res->ResidentBytes() > target) {
+    const int victim = res->PickVictim(res->ResidentBytes() - target);
+    if (victim < 0) break;  // minimum working set: nothing left to evict
+    if (target < peak_budget_) ++tally_.revoke_spills;
+    RecordDegrade(DegradeReason::kVictimSpill);
+    HJ_RETURN_IF_ERROR(SpillVictim(res, uint32_t(victim), st));
+  }
+  return Status::OK();
+}
+
+Status DiskGraceJoin::UnspillPartition(PartitionResidency* res, uint32_t p,
+                                       HybridState* st) {
+  std::vector<std::vector<uint8_t>> pages;
+  uint64_t tuples = 0;
+  auto scan = bm_->OpenScan(st->build_files[p]);
+  const uint8_t* page = nullptr;
+  while (true) {
+    HJ_RETURN_IF_ERROR(scan.NextPage(&page));
+    if (page == nullptr) break;
+    HJ_RETURN_IF_ERROR(VerifyPage(page));
+    pages.emplace_back(page, page + page_size_);
+    tuples += SlottedPage::Attach(pages.back().data()).slot_count();
+  }
+  res->Readmit(p, std::move(pages), tuples);
+  return Status::OK();
+}
+
+Status DiskGraceJoin::MaybeUnspill(PartitionResidency* res, HybridState* st) {
+  // Inverse spill order: the latest victim went out at the lowest
+  // budget, so it is the cheapest to bring back and the most likely to
+  // fit a partial re-grant.
+  bool flushed = false;
+  while (true) {
+    const int p = res->LastSpilled();
+    if (p < 0) break;
+    const uint64_t budget = EffectiveBudget();
+    if (budget != 0) {
+      const uint64_t cost = EstimateBuildBytes(st->build_files[p]);
+      if (res->ResidentBytes() + cost > budget) break;
+    }
+    if (!flushed) {
+      // The partition files were written asynchronously; settle them
+      // once before the first read-back.
+      HJ_RETURN_IF_ERROR(bm_->FlushWrites());
+      flushed = true;
+    }
+    if (budget > trough_budget_) ++tally_.regrant_unspills;
+    RecordDegrade(DegradeReason::kVictimUnspill);
+    HJ_RETURN_IF_ERROR(UnspillPartition(res, uint32_t(p), st));
+  }
+  return Status::OK();
+}
+
+Status DiskGraceJoin::JoinHybrid(BufferManager::FileId build,
+                                 BufferManager::FileId probe, uint32_t fanout,
+                                 DiskJoinResult* result) {
+  HybridState st;
+  st.build_files.resize(fanout);
+  st.build_next_page.assign(fanout, 0);
+  st.build_on_disk.assign(fanout, 0);
+  st.probe_files.assign(fanout, 0);
+  st.probe_created.assign(fanout, 0);
+  st.probe_next_page.assign(fanout, 0);
+  st.tables.resize(fanout);
+  for (uint32_t p = 0; p < fanout; ++p) st.build_files[p] = bm_->CreateFile();
+
+  // Revoke hint wiring: learn post-revoke grant sizes the moment they
+  // happen, instead of at the next budget poll. The listener only
+  // stores to an atomic (per the SetRevokeListener contract it must not
+  // call back into the broker), and is uninstalled on every exit path
+  // because the closure captures `this`.
+  revoke_hint_.store(UINT64_MAX, std::memory_order_relaxed);
+  struct ListenerGuard {
+    const DiskJoinConfig* config;
+    ~ListenerGuard() {
+      if (config->install_revoke_listener) config->install_revoke_listener({});
+    }
+  } guard{&config_};
+  if (config_.install_revoke_listener) {
+    config_.install_revoke_listener([this](uint64_t new_bytes) {
+      revoke_hint_.store(new_bytes, std::memory_order_relaxed);
+    });
+  }
+
+  uint64_t matches = 0;
+  std::vector<char> spilled(fanout, 0);
+  Status pass_st;
+  {
+    PartitionResidency res(fanout, page_size_, [](uint64_t tuples) {
+      return HashTable::EstimateBytes(tuples);
+    });
+
+    // ---- Build pass: partition the build input, keeping partitions
+    // resident until the live budget forces smallest-loss victims out.
+    result->partition_phase = Measure([&] {
+      pass_st = [&]() -> Status {
+        std::vector<std::vector<uint8_t>> bufs(fanout);
+        std::vector<SlottedPage> views(fanout);
+        for (uint32_t p = 0; p < fanout; ++p) {
+          bufs[p].resize(page_size_);
+          views[p] = SlottedPage::Format(bufs[p].data(), page_size_);
+        }
+        // Routes one full working page to residency or disk, then lets
+        // the budget claim victims at this page boundary.
+        auto emit = [&](uint32_t p) -> Status {
+          if (res.resident(p)) {
+            const uint64_t page_tuples = views[p].slot_count();
+            res.AddPage(p, std::move(bufs[p]), page_tuples);
+            bufs[p] = std::vector<uint8_t>(page_size_);
+          } else {
+            QueueWritePage(st.build_files[p], st.build_next_page[p]++,
+                           bufs[p].data());
+          }
+          views[p] = SlottedPage::Format(bufs[p].data(), page_size_);
+          return EnforceResidencyBudget(&res, &st);
+        };
+        auto scan = bm_->OpenScan(build);
+        const uint8_t* page = nullptr;
+        while (true) {
+          HJ_RETURN_IF_ERROR(scan.NextPage(&page));
+          if (page == nullptr) break;
+          HJ_RETURN_IF_ERROR(VerifyPage(page));
+          SlottedPage in = SlottedPage::Attach(const_cast<uint8_t*>(page));
+          for (int s = 0; s < in.slot_count(); ++s) {
+            uint16_t len = 0;
+            const uint8_t* tuple = in.GetTuple(s, &len);
+            uint32_t key;
+            std::memcpy(&key, tuple, 4);
+            const uint32_t hash = HashKey32(key);
+            const uint32_t p = hash % fanout;
+            if (views[p].AddTuple(tuple, len, hash) < 0) {
+              HJ_RETURN_IF_ERROR(emit(p));
+              const int idx = views[p].AddTuple(tuple, len, hash);
+              HJ_CHECK(idx >= 0);
+            }
+          }
+        }
+        for (uint32_t p = 0; p < fanout; ++p) {
+          if (views[p].slot_count() > 0) HJ_RETURN_IF_ERROR(emit(p));
+        }
+        return bm_->FlushWrites();
+      }();
+    });
+    HJ_RETURN_IF_ERROR(pass_st);
+    // Every partition evicted during the pass kept receiving its
+    // remaining tuples directly, so the spilled files are complete now.
+    for (uint32_t p = 0; p < fanout; ++p) {
+      if (!res.resident(p)) st.build_on_disk[p] = 1;
+    }
+    st.probe_pass = true;
+
+    // ---- Un-spill window: with the build files complete, re-admit
+    // spilled partitions while the (possibly re-grown) budget allows.
+    HJ_RETURN_IF_ERROR(MaybeUnspill(&res, &st));
+
+    // ---- Probe pass: hash tables over the resident partitions, probe
+    // them on the fly (the hybrid fraction — zero join-phase I/O);
+    // tuples of spilled partitions go to probe partition files. The
+    // resident probe is the plain per-tuple path; spilled pairs use the
+    // configured execution policy in the join phase below.
+    result->probe_partition_phase = Measure([&] {
+      pass_st = [&]() -> Status {
+        for (uint32_t p = 0; p < fanout; ++p) {
+          if (!res.resident(p) || res.tuples(p) == 0) continue;
+          NoteBuildBytes(res.pages(p).size(), res.tuples(p));
+          auto ht = std::make_unique<HashTable>(
+              ChooseBucketCount(res.tuples(p), fanout));
+          for (const auto& bytes : res.pages(p)) {
+            SlottedPage pg =
+                SlottedPage::Attach(const_cast<uint8_t*>(bytes.data()));
+            for (int s = 0; s < pg.slot_count(); ++s) {
+              uint16_t len = 0;
+              const uint8_t* t = pg.GetTuple(s, &len);
+              ht->Insert(pg.GetHashCode(s), t);
+            }
+          }
+          st.tables[p] = std::move(ht);
+        }
+        std::vector<std::vector<uint8_t>> bufs(fanout);
+        std::vector<SlottedPage> views(fanout);
+        for (uint32_t p = 0; p < fanout; ++p) {
+          bufs[p].resize(page_size_);
+          views[p] = SlottedPage::Format(bufs[p].data(), page_size_);
+        }
+        auto spill_probe = [&](uint32_t p) {
+          if (!st.probe_created[p]) {
+            st.probe_files[p] = bm_->CreateFile();
+            st.probe_created[p] = 1;
+          }
+          QueueWritePage(st.probe_files[p], st.probe_next_page[p]++,
+                         bufs[p].data());
+          views[p] = SlottedPage::Format(bufs[p].data(), page_size_);
+        };
+        auto scan = bm_->OpenScan(probe);
+        const uint8_t* page = nullptr;
+        while (true) {
+          HJ_RETURN_IF_ERROR(scan.NextPage(&page));
+          if (page == nullptr) break;
+          HJ_RETURN_IF_ERROR(VerifyPage(page));
+          // A revoke mid-probe demotes victims here, at the page
+          // boundary. That is safe because each probe tuple is probed
+          // exactly once: tuples already probed against the demoted
+          // partition stand, and the partition's remaining probe tuples
+          // are routed to its probe file and joined from disk.
+          HJ_RETURN_IF_ERROR(EnforceResidencyBudget(&res, &st));
+          SlottedPage in = SlottedPage::Attach(const_cast<uint8_t*>(page));
+          for (int s = 0; s < in.slot_count(); ++s) {
+            uint16_t len = 0;
+            const uint8_t* tuple = in.GetTuple(s, &len);
+            uint32_t key;
+            std::memcpy(&key, tuple, 4);
+            const uint32_t hash = HashKey32(key);
+            const uint32_t p = hash % fanout;
+            if (res.resident(p)) {
+              if (st.tables[p] != nullptr) {
+                st.tables[p]->Probe(hash, [&](const uint8_t* bt) {
+                  uint32_t bkey;
+                  std::memcpy(&bkey, bt, 4);
+                  if (bkey == key) ++matches;
+                });
+              }
+            } else if (views[p].AddTuple(tuple, len, hash) < 0) {
+              spill_probe(p);
+              const int idx = views[p].AddTuple(tuple, len, hash);
+              HJ_CHECK(idx >= 0);
+            }
+          }
+        }
+        for (uint32_t p = 0; p < fanout; ++p) {
+          if (views[p].slot_count() > 0) spill_probe(p);
+        }
+        return bm_->FlushWrites();
+      }();
+    });
+    HJ_RETURN_IF_ERROR(pass_st);
+    for (uint32_t p = 0; p < fanout; ++p) {
+      spilled[p] = res.resident(p) ? 0 : 1;
+    }
+  }  // residency scope: resident pages released before the join phase
+  for (uint32_t p = 0; p < fanout; ++p) st.tables[p].reset();
+
+  // ---- Join phase: only the spilled pairs touch disk again; each one
+  // descends the degradation ladder as needed.
+  result->join_phase = Measure([&] {
+    pass_st = [&]() -> Status {
+      for (uint32_t p = 0; p < fanout; ++p) {
+        if (!spilled[p]) continue;
+        if (!st.probe_created[p]) {
+          // No probe tuple hashed here; an empty file keeps the pair
+          // aligned (the ladder short-circuits empty sides).
+          st.probe_files[p] = bm_->CreateFile();
+          st.probe_created[p] = 1;
+        }
+        HJ_RETURN_IF_ERROR(JoinPartitionPair(st.build_files[p],
+                                             st.probe_files[p], /*depth=*/0,
+                                             &matches));
+      }
+      return Status::OK();
+    }();
+  });
+  HJ_RETURN_IF_ERROR(pass_st);
+  result->output_tuples = matches;
+  return Status::OK();
 }
 
 StatusOr<uint64_t> DiskGraceJoin::JoinPartitions(
@@ -449,7 +970,6 @@ StatusOr<uint64_t> DiskGraceJoin::JoinPartitions(
 StatusOr<DiskJoinResult> DiskGraceJoin::Join(BufferManager::FileId build,
                                              BufferManager::FileId probe) {
   DiskJoinResult result;
-  result.num_partitions = config_.num_partitions;
   // Seed the peak/trough watermarks with the budget granted at join
   // start: sizing decisions only run in the join phase, so without this
   // a grant revoked during the partition phase would never register as
@@ -457,13 +977,24 @@ StatusOr<DiskJoinResult> DiskGraceJoin::Join(BufferManager::FileId build,
   EffectiveBudget();
   const IoRecoveryStats io_before = bm_->recovery_stats();
   const DiskJoinRecovery tally_before = tally_;
-  HJ_ASSIGN_OR_RETURN(auto build_parts,
-                      Partition(build, &result.partition_phase));
-  HJ_ASSIGN_OR_RETURN(auto probe_parts,
-                      Partition(probe, &result.probe_partition_phase));
-  HJ_ASSIGN_OR_RETURN(
-      result.output_tuples,
-      JoinPartitions(build_parts, probe_parts, &result.join_phase));
+  // One fan-out decision for both relations (pairs must align), made
+  // from the build side's observed statistics — StoreRelation sampled
+  // its key-hash histogram while writing the input file.
+  const uint32_t fanout =
+      ChooseFanout(build, /*level=*/0, EffectiveBudget());
+  result.num_partitions = fanout;
+  if (config_.hybrid_residency) {
+    HJ_RETURN_IF_ERROR(JoinHybrid(build, probe, fanout, &result));
+  } else {
+    HJ_ASSIGN_OR_RETURN(auto build_parts,
+                        Partition(build, &result.partition_phase, fanout));
+    HJ_ASSIGN_OR_RETURN(
+        auto probe_parts,
+        Partition(probe, &result.probe_partition_phase, fanout));
+    HJ_ASSIGN_OR_RETURN(
+        result.output_tuples,
+        JoinPartitions(build_parts, probe_parts, &result.join_phase));
+  }
   const IoRecoveryStats io_after = bm_->recovery_stats();
   result.recovery.read_retries = io_after.read_retries - io_before.read_retries;
   result.recovery.write_retries =
@@ -484,6 +1015,14 @@ StatusOr<DiskJoinResult> DiskGraceJoin::Join(BufferManager::FileId build,
       tally_.revoke_spills - tally_before.revoke_spills;
   result.recovery.regrant_unspills =
       tally_.regrant_unspills - tally_before.regrant_unspills;
+  result.recovery.role_reversals =
+      tally_.role_reversals - tally_before.role_reversals;
+  result.recovery.bnl_fallbacks =
+      tally_.bnl_fallbacks - tally_before.bnl_fallbacks;
+  result.recovery.victim_spills =
+      tally_.victim_spills - tally_before.victim_spills;
+  result.recovery.victim_unspills =
+      tally_.victim_unspills - tally_before.victim_unspills;
   return result;
 }
 

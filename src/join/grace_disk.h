@@ -1,12 +1,15 @@
 #ifndef HASHJOIN_JOIN_GRACE_DISK_H_
 #define HASHJOIN_JOIN_GRACE_DISK_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "join/join_common.h"
+#include "join/residency.h"
 #include "storage/buffer_manager.h"
 #include "storage/relation.h"
 #include "util/status.h"
@@ -24,18 +27,22 @@ struct DiskPhaseStats {
 
 /// Configuration of the disk-backed GRACE join's resilience layer.
 struct DiskJoinConfig {
-  /// Initial partition fan-out of the I/O partition phase.
+  /// Initial partition fan-out of the I/O partition phase. With
+  /// `adaptive_fanout` this is only the fallback when no input
+  /// statistics exist yet (e.g. the Partition() API called on a file
+  /// this join did not write).
   uint32_t num_partitions = 8;
 
   /// Memory available to one in-memory build (partition pages + hash
   /// table), in bytes. 0 = unlimited (the paper's perfect-balance
-  /// assumption). With a budget, a build partition that does not fit is
-  /// recursively repartitioned and, past the depth cap, joined with the
-  /// chunked multipass build — so skew degrades gracefully instead of
+  /// assumption). With a budget, a build partition that does not fit
+  /// descends the degradation ladder (role reversal, recursive
+  /// repartition, chunked build, block nested loop) instead of
   /// overrunning memory.
   uint64_t memory_budget = 0;
 
-  /// Sub-partition fan-out of each recursive repartition level.
+  /// Sub-partition fan-out of each recursive repartition level (upper
+  /// bound when `adaptive_fanout` re-decides per level).
   uint32_t overflow_fanout = 8;
 
   /// Levels of recursive repartitioning allowed before falling back to
@@ -76,11 +83,54 @@ struct DiskJoinConfig {
   /// it forces would misclassify as plain skew overflow. 0 = seed from
   /// the first budget the join observes.
   uint64_t initial_grant_bytes = 0;
+
+  /// Re-decide the partition fan-out from observed input instead of the
+  /// static counts above: level 0 projects per-fanout partition sizes
+  /// from the key-hash histogram sampled while the input file was
+  /// written, each recursion level sizes its sub-fanout from the actual
+  /// overflow of the partition being split. Off by default — callers
+  /// that planned around a fixed `num_partitions` keep exact behavior.
+  bool adaptive_fanout = false;
+
+  /// Ceiling on the adaptive level-0 fan-out (power of two, at most the
+  /// histogram bin count FileStats::kHistBins).
+  uint32_t max_fanout = 64;
+
+  /// When a build partition does not fit the budget but its probe
+  /// partition would, swap the two before the join pass — the memory
+  /// ladder works off the smaller side no matter which relation it came
+  /// from. Match counts are side-symmetric (the probe counts key-equal
+  /// pairs), so reversal changes only the memory/I/O plan, never the
+  /// result.
+  bool role_reversal = true;
+
+  /// Run Join() as a true hybrid: keep every build partition in memory
+  /// through the partition pass, evict smallest-loss victims only when
+  /// the live budget demands it, un-spill in inverse order when it
+  /// re-grows, and probe resident partitions on the fly (zero I/O for
+  /// the resident fraction). Off by default — the classic
+  /// partition-everything GRACE pipeline is kept for callers that want
+  /// the paper's Figure 9 shape.
+  bool hybrid_residency = false;
+
+  /// Installs this join's revoke listener on the caller's grant (e.g.
+  /// `[&grant](auto fn) { grant.SetRevokeListener(std::move(fn)); }`).
+  /// The hybrid join uses it to learn the post-revoke grant size at the
+  /// moment of the revoke and evict victims at the next page boundary,
+  /// instead of discovering the squeeze at its next budget poll. The
+  /// join installs an empty listener on exit (the hint closure captures
+  /// `this`), and the listener itself only stores to an atomic — it
+  /// never calls back into the broker, per the SetRevokeListener
+  /// contract.
+  std::function<void(std::function<void(uint64_t)>)> install_revoke_listener;
 };
 
 /// Recovery actions taken during one Join() call; all zero on a clean,
 /// well-balanced run. The I/O counters are diffs of the buffer manager's
 /// cumulative stats; the skew counters are tallied by the join itself.
+/// Every rung of the degradation ladder (DegradeReason) lands in exactly
+/// one of the reason counters below — RecordDegrade is the single
+/// chokepoint — so the counters fully classify *why* a join degraded.
 struct DiskJoinRecovery {
   uint64_t read_retries = 0;
   uint64_t write_retries = 0;
@@ -90,7 +140,7 @@ struct DiskJoinRecovery {
   /// Build partitions that exceeded the budget and were split again.
   uint64_t recursive_splits = 0;
   /// Oversized partitions joined with the chunked multipass build after
-  /// the depth cap (or a no-progress split, e.g. one giant key).
+  /// the depth cap (or a no-progress split on a skewed partition).
   uint64_t chunked_fallbacks = 0;
   /// Deepest recursive repartition level reached (0 = none needed).
   uint32_t deepest_recursion = 0;
@@ -98,14 +148,27 @@ struct DiskJoinRecovery {
   /// pages + estimated hash table); never exceeds the budget when one is
   /// set.
   uint64_t max_build_bytes = 0;
-  /// Build partitions spilled (split or chunked) ONLY because the live
-  /// grant shrank below the peak budget this join has seen — i.e. spills
-  /// a broker revoke forced, as opposed to plain skew overflow.
+  /// Build partitions spilled (split, chunked, or evicted) ONLY because
+  /// the live grant shrank below the peak budget this join has seen —
+  /// i.e. spills a broker revoke forced, as opposed to plain skew
+  /// overflow.
   uint64_t revoke_spills = 0;
   /// Build partitions joined fully in memory that would have spilled at
   /// the lowest budget seen — i.e. in-memory work a grant re-growth
   /// ("un-spill") recovered after an earlier revoke.
   uint64_t regrant_unspills = 0;
+  /// Partition pairs whose build/probe roles were swapped because the
+  /// original probe side was the cheaper one to hold in memory.
+  uint64_t role_reversals = 0;
+  /// Single-hash partitions joined with the block nested loop (the one
+  /// shape no amount of splitting or chunk-table building helps).
+  uint64_t bnl_fallbacks = 0;
+  /// Resident hybrid partitions evicted by the smallest-loss policy
+  /// when the live budget shrank below the resident set.
+  uint64_t victim_spills = 0;
+  /// Spilled hybrid partitions re-admitted (inverse spill order) after
+  /// the budget re-grew.
+  uint64_t victim_unspills = 0;
 };
 
 /// Result of a full disk-backed join.
@@ -129,11 +192,19 @@ struct DiskJoinResult {
 ///
 /// Every fallible path returns a Status: transient I/O faults are
 /// absorbed by the buffer manager's retry layer, and only exhausted
-/// retries or detected corruption (kDataLoss) surface here. Build
-/// partitions that overflow `memory_budget` are recursively repartitioned
-/// with a seed-salted hash (SaltedRehash) and, past the depth cap,
-/// joined with a chunked multipass build — mirroring the hybrid join's
-/// spill logic, but driven by observed (not predicted) partition sizes.
+/// retries or detected corruption (kDataLoss) surface here.
+///
+/// A build partition that overflows the budget descends the degradation
+/// ladder (DESIGN.md §11), each rung recorded through RecordDegrade:
+///   1. role reversal — join the probe side instead if it fits;
+///   2. recursive repartition with a level-salted hash (SaltedRehash),
+///      with the fan-out re-decided per level under `adaptive_fanout`;
+///   3. chunked multipass build past the depth cap;
+///   4. block nested loop when the partition is a single hash code (the
+///      shape neither splitting nor chunk hash tables can help).
+/// With `hybrid_residency`, Join() additionally keeps partitions in
+/// memory until a revoke evicts smallest-loss victims (PartitionResidency)
+/// and probes the resident fraction with zero join-phase I/O.
 class DiskGraceJoin {
  public:
   /// `bm` must outlive this object.
@@ -146,12 +217,19 @@ class DiskGraceJoin {
   StatusOr<BufferManager::FileId> StoreRelation(const Relation& rel);
 
   /// Partitions `input` (a StoreRelation file) into per-partition files;
-  /// fills `stats` (optional) with this pass's I/O measurements.
+  /// fills `stats` (optional) with this pass's I/O measurements. The
+  /// fan-out is `config().num_partitions`, or histogram-derived under
+  /// `adaptive_fanout`.
   StatusOr<std::vector<BufferManager::FileId>> Partition(
       BufferManager::FileId input, DiskPhaseStats* stats);
 
+  /// Same, with an explicit fan-out (Join() partitions both relations
+  /// with the fan-out it chose from the build side, so pairs align).
+  StatusOr<std::vector<BufferManager::FileId>> Partition(
+      BufferManager::FileId input, DiskPhaseStats* stats, uint32_t fanout);
+
   /// Joins partition-file pairs, returning the match count. Oversized
-  /// build partitions recurse / fall back as configured.
+  /// build partitions descend the degradation ladder as configured.
   StatusOr<uint64_t> JoinPartitions(
       const std::vector<BufferManager::FileId>& build_parts,
       const std::vector<BufferManager::FileId>& probe_parts,
@@ -165,11 +243,23 @@ class DiskGraceJoin {
 
  private:
   /// Per-file bookkeeping the sizing decisions need without re-reading
-  /// the file: every file this join writes is recorded here.
+  /// the file: every file this join writes is recorded here. The
+  /// key-hash histogram feeds the adaptive fan-out choice (level 0
+  /// routes on hash % fanout, so for any fan-out dividing kHistBins the
+  /// per-partition tuple counts project exactly from the bins); the
+  /// uniform-hash flag detects the single-giant-key partitions only the
+  /// block nested loop can handle.
   struct FileStats {
+    static constexpr uint32_t kHistBins = 64;
     uint64_t tuples = 0;
     uint64_t data_bytes = 0;
+    std::array<uint64_t, kHistBins> hist{};
+    uint32_t first_hash = 0;
+    bool has_tuples = false;
+    bool uniform_hash = true;  // every tuple shares one hash code
   };
+
+  struct HybridState;  // hybrid-pass bookkeeping; defined in grace_disk.cc
 
   template <typename Fn>
   DiskPhaseStats Measure(Fn&& fn);
@@ -178,6 +268,28 @@ class DiskGraceJoin {
   /// wired, the static config otherwise. Maintains the peak/trough
   /// watermarks the revoke/un-spill accounting compares against.
   uint64_t EffectiveBudget();
+
+  /// The single chokepoint for degradation-ladder accounting: every
+  /// rung (reversal, split, chunk, BNL, victim spill/un-spill)
+  /// increments exactly one DiskJoinRecovery counter here. hjlint's
+  /// recovery-ledger-discipline rule pins each ladder action to one
+  /// adjacent RecordDegrade call.
+  void RecordDegrade(DegradeReason reason);
+
+  /// Fan-out for (re)partitioning `input` at `level`: the static config
+  /// counts, or — under `adaptive_fanout` — the histogram projection
+  /// (level 0) / observed-overflow sizing (level >= 1).
+  uint32_t ChooseFanout(BufferManager::FileId input, uint32_t level,
+                        uint64_t budget) const;
+
+  /// Swaps the build/probe roles of a partition-file pair. Counting is
+  /// side-symmetric, so only the memory/I/O plan changes.
+  static void ReverseRoles(BufferManager::FileId* build,
+                           BufferManager::FileId* probe);
+
+  /// Whether every tuple of `file` shares one hash code (recursive
+  /// splitting cannot make progress on such a partition).
+  bool UniformHash(BufferManager::FileId file) const;
 
   /// Stamps (if configured) and queues one page write, tallying stats.
   /// Fire-and-forget: write errors surface at the next FlushWrites.
@@ -197,22 +309,60 @@ class DiskGraceJoin {
   uint64_t EstimateBuildBytes(BufferManager::FileId file) const;
 
   /// Joins one (build, probe) partition-file pair at recursion `depth`,
-  /// adding matches to `*matches`.
+  /// adding matches to `*matches` — the degradation ladder lives here.
   Status JoinPartitionPair(BufferManager::FileId build,
                            BufferManager::FileId probe, uint32_t depth,
                            uint64_t* matches);
 
-  /// Depth-cap fallback: stream the build partition in budget-sized
-  /// chunks, probing the full probe partition against each chunk's hash
-  /// table (multipass chunked build).
+  /// Ladder rung 0 (no degradation): load the build partition and
+  /// stream the probe partition against its hash table.
+  Status JoinInMemory(BufferManager::FileId build,
+                      BufferManager::FileId probe, uint64_t* matches);
+
+  /// Ladder rung 2: re-split the pair at `depth + 1` over `sub_build`
+  /// (already partitioned) and recurse on each sub-pair.
+  Status RecurseSplit(BufferManager::FileId probe,
+                      const std::vector<BufferManager::FileId>& sub_build,
+                      uint32_t fanout, uint32_t depth, uint64_t* matches);
+
+  /// Ladder rung 3: stream the build partition in budget-sized chunks,
+  /// probing the full probe partition against each chunk's hash table
+  /// (multipass chunked build).
   Status JoinChunked(BufferManager::FileId build,
                      BufferManager::FileId probe, uint64_t* matches);
+
+  /// Ladder rung 4 (last resort): single-hash build partition — a hash
+  /// table would be one long chain, so compare keys directly, build
+  /// block by budget-sized block against one probe scan each.
+  Status JoinBlockNestedLoop(BufferManager::FileId build,
+                             BufferManager::FileId probe, uint64_t* matches);
 
   /// Builds a hash table over loaded pages and streams the probe file
   /// against it.
   Status BuildAndProbe(const std::vector<std::vector<uint8_t>>& build_pages,
                        uint64_t build_tuples, BufferManager::FileId probe,
                        uint64_t* matches);
+
+  /// Hybrid (residency-managed) whole-join driver; see Join().
+  Status JoinHybrid(BufferManager::FileId build, BufferManager::FileId probe,
+                    uint32_t fanout, DiskJoinResult* result);
+
+  /// Evicts smallest-loss victims until the resident set fits the live
+  /// budget (or the revoke-hint target, whichever is tighter).
+  Status EnforceResidencyBudget(PartitionResidency* res, HybridState* st);
+
+  /// Writes one evicted partition's pages to its file (unless the file
+  /// already holds the full partition) and drops its hash table.
+  Status SpillVictim(PartitionResidency* res, uint32_t victim,
+                     HybridState* st);
+
+  /// Re-admits spilled partitions in inverse spill order while the
+  /// budget headroom lasts.
+  Status MaybeUnspill(PartitionResidency* res, HybridState* st);
+
+  /// Reads partition `p`'s file back into residency.
+  Status UnspillPartition(PartitionResidency* res, uint32_t p,
+                          HybridState* st);
 
   void NoteBuildBytes(uint64_t pages, uint64_t tuples);
 
@@ -226,6 +376,11 @@ class DiskGraceJoin {
   /// in-memory builds as un-spilled.
   uint64_t peak_budget_ = 0;
   uint64_t trough_budget_ = UINT64_MAX;
+  /// Post-revoke grant size pushed by the broker's revoke listener
+  /// (UINT64_MAX = no pending hint); consumed at page boundaries by the
+  /// hybrid pass. Written from the revoking thread, read from the
+  /// joining thread — hence the atomic.
+  std::atomic<uint64_t> revoke_hint_{UINT64_MAX};
 };
 
 }  // namespace hashjoin

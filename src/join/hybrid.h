@@ -14,15 +14,24 @@ namespace hashjoin {
 /// honors a live broker grant (`config.dynamic_budget`) when one is
 /// wired in: a query admitted under a small grant spills more partitions
 /// up front instead of overrunning its share.
+///
+/// `allow_single_partition` relaxes the clamp to 1 for inputs that are
+/// already one partition of a parent join (recursion depth >= 1): there
+/// the "at least one spilled partition" invariant is the parent's
+/// business, and re-spilling a level that fits the grant would turn a
+/// finished join into gratuitous I/O. With count 1 everything routes to
+/// the in-place partition 0 and the spilled-partition loops are empty.
 inline uint32_t HybridPartitionCount(uint64_t build_tuples,
                                      uint64_t build_bytes,
-                                     const GraceConfig& config) {
+                                     const GraceConfig& config,
+                                     bool allow_single_partition = false) {
   uint32_t num_parts =
       config.forced_num_partitions != 0
           ? config.forced_num_partitions
           : ComputeNumPartitions(build_tuples, build_bytes,
                                  EffectiveMemoryBudget(config));
-  return num_parts < 2 ? 2 : num_parts;
+  const uint32_t min_parts = allow_single_partition ? 1 : 2;
+  return num_parts < min_parts ? min_parts : num_parts;
 }
 
 /// Hybrid hash join [DeWitt et al.], one of the GRACE refinements the
@@ -40,8 +49,9 @@ JoinResult HybridHashJoin(MM& mm, const Relation& build,
                           const Relation& probe, const GraceConfig& config,
                           Relation* output) {
   JoinResult result;
-  uint32_t num_parts = HybridPartitionCount(build.num_tuples(),
-                                            build.data_bytes(), config);
+  uint32_t num_parts =
+      HybridPartitionCount(build.num_tuples(), build.data_bytes(), config,
+                           config.hybrid_allow_single_partition);
   result.num_partitions = num_parts;
 
   Relation discard(ConcatSchema(build.schema(), probe.schema()),

@@ -8,8 +8,20 @@
 namespace hashjoin {
 
 void MemoryGrant::SetRevokeListener(std::function<void(uint64_t)> fn) {
-  MutexLock lock(listener_mu_);
-  revoke_listener_ = std::move(fn);
+  std::function<void(uint64_t)> catch_up;
+  {
+    MutexLock lock(listener_mu_);
+    revoke_listener_ = std::move(fn);
+    // Catch-up: a listener installed after a revoke already fired would
+    // otherwise wait forever for a notification that is not coming —
+    // the broker only notifies at revoke time. Fire it once with the
+    // live grant size, from this (installing) thread, outside the lock.
+    if (revoke_listener_ != nullptr &&
+        revokes_.load(std::memory_order_relaxed) > 0) {
+      catch_up = revoke_listener_;
+    }
+  }
+  if (catch_up != nullptr) catch_up(bytes());
 }
 
 void MemoryGrant::Release() {

@@ -62,10 +62,26 @@ class MemoryGrant {
     return low_watermark_.load(std::memory_order_relaxed);
   }
 
-  /// Installs a callback invoked (outside broker locks, from the
-  /// revoking thread) after each revoke, with the new grant size. The
-  /// polling-based spill path does not need this; it exists for
-  /// observability and for callers that want to react eagerly.
+  /// Installs a callback invoked after each revoke with the new grant
+  /// size. The polling-based spill path does not need this; it exists
+  /// for callers that want to react eagerly (e.g. the hybrid join's
+  /// victim eviction hint).
+  ///
+  /// Locking contract:
+  ///  - The callback runs on the *revoking* thread (another query's
+  ///    admission path) with no broker locks held. It must not call
+  ///    back into the broker or this grant's Acquire/Release machinery
+  ///    synchronously — not because it would deadlock today, but
+  ///    because it would stall the other query's admission on work of
+  ///    arbitrary duration. Store the value (an atomic) and return.
+  ///  - If a revoke already fired before installation, the new listener
+  ///    is invoked once immediately — from the *installing* thread,
+  ///    outside the listener lock — with the live grant size, so a
+  ///    late installer never misses the current value. That catch-up
+  ///    call can race a concurrent revoke's notification, so the
+  ///    callback must be safe to run from either thread at any time
+  ///    (values may arrive out of order; treat the smallest recently
+  ///    seen value as binding, or re-poll bytes()).
   void SetRevokeListener(std::function<void(uint64_t new_bytes)> fn);
 
   /// Returns all bytes to the broker. Idempotent; also run by the dtor.

@@ -97,6 +97,16 @@ class QueryContext {
   /// this context lives.
   std::function<uint64_t()> GrantFn() const { return grant_->BudgetFn(); }
 
+  /// The closure to wire into `DiskJoinConfig::install_revoke_listener`:
+  /// lets the join (re)install its revoke listener on this query's grant
+  /// without holding a reference to the grant itself. Valid while this
+  /// context lives.
+  std::function<void(std::function<void(uint64_t)>)> RevokeListenerInstaller() {
+    return [this](std::function<void(uint64_t)> fn) {
+      grant_->SetRevokeListener(std::move(fn));
+    };
+  }
+
   MemoryGrant& grant() { return *grant_; }
 
   /// This query's fair-share submission handle on the scheduler's shared

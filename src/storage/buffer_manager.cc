@@ -69,6 +69,7 @@ Status BufferManager::ReadWithRetry(DiskWorker* w, const Request& req) {
   Status last;
   for (uint32_t attempt = 0; attempt < config_.retry.max_attempts;
        ++attempt) {
+    bytes_read_.fetch_add(config_.disk.page_size, std::memory_order_relaxed);
     last = w->disk->ReadPage(req.disk_page, req.read_dst);
     if (!last.ok()) {
       if (last.code() != StatusCode::kIOError) return last;  // permanent
@@ -98,6 +99,7 @@ Status BufferManager::RawReadWithRetry(DiskWorker* w, uint64_t disk_page,
   Status last;
   for (uint32_t attempt = 0; attempt < config_.retry.max_attempts;
        ++attempt) {
+    bytes_read_.fetch_add(config_.disk.page_size, std::memory_order_relaxed);
     last = w->disk->ReadPage(disk_page, dst);
     if (last.ok() || last.code() != StatusCode::kIOError) return last;
     if (attempt + 1 < config_.retry.max_attempts) {
@@ -112,6 +114,8 @@ Status BufferManager::WriteWithRetry(DiskWorker* w, const Request& req) {
   Status last;
   for (uint32_t attempt = 0; attempt < config_.retry.max_attempts;
        ++attempt) {
+    bytes_written_.fetch_add(config_.disk.page_size,
+                             std::memory_order_relaxed);
     last = w->disk->WritePage(req.disk_page, req.write_data.get());
     if (!last.ok()) {
       if (last.code() != StatusCode::kIOError) return last;  // permanent
@@ -317,7 +321,13 @@ IoRecoveryStats BufferManager::recovery_stats() const {
   s.checksum_failures = checksum_failures_.load();
   s.write_verify_failures = write_verify_failures_.load();
   for (const auto& w : disks_) s.injected_faults += w->disk->injected_faults();
+  s.bytes_read = bytes_read_.load();
+  s.bytes_written = bytes_written_.load();
   return s;
+}
+
+uint64_t BufferManager::FileBytes(FileId file) const {
+  return FileNumPages(file) * uint64_t(config_.disk.page_size);
 }
 
 BufferManager::Scanner::Scanner(BufferManager* bm, FileId file)

@@ -44,6 +44,10 @@ struct IoRecoveryStats {
   uint64_t checksum_failures = 0;  ///< read pages failing CRC (then retried)
   uint64_t write_verify_failures = 0;  ///< read-back mismatches (rewritten)
   uint64_t injected_faults = 0;  ///< faults the injector actually delivered
+  /// Total transfer volume, counting every disk attempt (retries and
+  /// write-verify read-backs included — this is traffic, not payload).
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
 };
 
 /// Buffer manager configuration (paper §7.2: relations striped across all
@@ -108,6 +112,12 @@ class BufferManager {
   Status FlushWrites() HJ_EXCLUDES(writes_mu_);
 
   uint64_t FileNumPages(FileId file) const HJ_EXCLUDES(files_mu_);
+
+  /// On-disk size of a file, bytes (pages are fixed-size, so this is
+  /// FileNumPages * page_size). Partition-sizing decisions — role
+  /// reversal, victim selection — compare actual file sizes through
+  /// this instead of re-deriving the page math at every call site.
+  uint64_t FileBytes(FileId file) const HJ_EXCLUDES(files_mu_);
 
   /// Sequential scan with read-ahead. Not thread-safe; one user at a time.
   class Scanner {
@@ -246,6 +256,8 @@ class BufferManager {
   Status first_write_error_ HJ_GUARDED_BY(writes_mu_);
   std::atomic<uint64_t> read_retries_{0};
   std::atomic<uint64_t> write_retries_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> checksum_failures_{0};
   std::atomic<uint64_t> write_verify_failures_{0};
   mutable Mutex readahead_mu_;

@@ -182,6 +182,54 @@ TEST(HybridPartitionCountTest, MatchesBudgetSizingWhenSpilling) {
   EXPECT_GE(n, 2u);
 }
 
+TEST(HybridPartitionCountTest, SinglePartitionAllowedWhenEverythingFits) {
+  // A recursive level whose whole input fits the grant may finish in
+  // memory: allow_single_partition lifts the >= 2 clamp so nothing is
+  // gratuitously spilled. When the input does NOT fit, the flag changes
+  // nothing — sizing still rules.
+  GraceConfig config;
+  config.memory_budget = 1ull << 30;
+  EXPECT_EQ(HybridPartitionCount(1000, 100 * 1000, config,
+                                 /*allow_single_partition=*/true),
+            1u);
+  // The default (no flag) keeps the historical clamp.
+  EXPECT_EQ(HybridPartitionCount(1000, 100 * 1000, config), 2u);
+  config.memory_budget = 64 * 1024;
+  EXPECT_EQ(HybridPartitionCount(50000, 50000 * 20, config,
+                                 /*allow_single_partition=*/true),
+            ComputeNumPartitions(50000, 50000 * 20, config.memory_budget));
+}
+
+TEST(HybridJoinTest, SinglePartitionJoinRunsFullyInMemory) {
+  // config.hybrid_allow_single_partition + a budget that covers the
+  // whole build: num_partitions == 1, every tuple routes through the
+  // in-place partition 0, and the spilled-partition loops are empty —
+  // with the exact same match output.
+  WorkloadSpec spec;
+  spec.num_build_tuples = 5000;
+  spec.tuple_size = 20;
+  spec.matches_per_build = 2.0;
+  JoinWorkload w = GenerateJoinWorkload(spec);
+
+  GraceConfig config;
+  config.memory_budget = 16ull << 20;
+  config.hybrid_allow_single_partition = true;
+  config.page_size = 2048;
+  RealMemory mm;
+  Relation out(ConcatSchema(w.build.schema(), w.probe.schema()), 2048);
+  JoinResult r = HybridHashJoin(mm, w.build, w.probe, config, &out);
+  EXPECT_EQ(r.num_partitions, 1u);
+  EXPECT_EQ(r.output_tuples, w.expected_matches);
+  EXPECT_EQ(out.num_tuples(), w.expected_matches);
+
+  // Same config without the flag: identical output through two
+  // partitions — the flag is a memory/I/O decision, never a result one.
+  config.hybrid_allow_single_partition = false;
+  JoinResult spilled = HybridHashJoin(mm, w.build, w.probe, config, nullptr);
+  EXPECT_EQ(spilled.num_partitions, 2u);
+  EXPECT_EQ(spilled.output_tuples, r.output_tuples);
+}
+
 // The budget-forced clamp path end to end: a workload whose sizing alone
 // would say "1 partition" must still produce correct results through the
 // partition-0-in-place + spill structure.

@@ -273,10 +273,11 @@ TEST(SkewedDiskJoinTest, RecursiveRepartitioningStaysWithinBudget) {
   EXPECT_LE(r.value().recovery.max_build_bytes, cfg.memory_budget);
 }
 
-TEST(SkewedDiskJoinTest, IdenticalKeysFallBackToChunkedBuild) {
+TEST(SkewedDiskJoinTest, IdenticalKeysFallBackToBlockNestedLoop) {
   // One giant key: salted rehash cannot split it (every copy shares the
-  // hash code), so the progress check must route it to the chunked
-  // multipass build instead of burning recursion levels.
+  // hash code), so the join must not burn recursion levels. And because
+  // every chunk's hash table would degenerate to a single chain, the
+  // ladder's last rung — block nested loop — beats the chunked build.
   const uint32_t kKey = 12345;
   Relation build(Schema::KeyPayload(100));
   Relation probe(Schema::KeyPayload(100));
@@ -294,6 +295,9 @@ TEST(SkewedDiskJoinTest, IdenticalKeysFallBackToChunkedBuild) {
   cfg.num_partitions = 4;
   cfg.memory_budget = 64 * 1024;
   cfg.max_recursion_depth = 4;
+  // The tiny probe side would otherwise be adopted as the build via role
+  // reversal and fit in memory; this test is about the chunked rung.
+  cfg.role_reversal = false;
   DiskGraceJoin join(&bm, cfg);
   auto b = join.StoreRelation(build);
   auto p = join.StoreRelation(probe);
@@ -303,7 +307,8 @@ TEST(SkewedDiskJoinTest, IdenticalKeysFallBackToChunkedBuild) {
 
   EXPECT_EQ(r.value().output_tuples, 2000u * 100u);  // full cross product
   EXPECT_EQ(r.value().recovery.recursive_splits, 0u);  // no progress
-  EXPECT_GT(r.value().recovery.chunked_fallbacks, 0u);
+  EXPECT_EQ(r.value().recovery.chunked_fallbacks, 0u);
+  EXPECT_GT(r.value().recovery.bnl_fallbacks, 0u);
 }
 
 TEST(SkewedDiskJoinTest, DepthCapZeroGoesStraightToChunked) {

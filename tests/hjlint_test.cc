@@ -228,6 +228,88 @@ TEST(HjlintRawMutexTest, IgnoresFilesOutsideSrc) {
   EXPECT_TRUE(fs.empty());
 }
 
+// --- recovery-ledger-discipline --------------------------------------
+
+TEST(HjlintRecoveryLedgerTest, FlagsActionWithoutRecord) {
+  // A ladder action with no RecordDegrade nearby: the degradation
+  // happens but the DiskJoinRecovery ledger never learns why.
+  auto fs = Lint("src/join/bad.cc",
+                "Status J(FileId build, FileId probe) {\n"
+                "  ReverseRoles(&build, &probe);\n"
+                "  return JoinInMemory(build, probe);\n"
+                "}\n");
+  ASSERT_TRUE(HasRule(fs, "recovery-ledger-discipline"));
+  EXPECT_EQ(fs[0].line, 2u);
+}
+
+TEST(HjlintRecoveryLedgerTest, FlagsDoubleRecordForOneAction) {
+  // Two records for one action: matching is one-to-one, so the second
+  // RecordDegrade is an orphan inflating the ledger.
+  auto fs = Lint("src/join/bad.cc",
+                "Status J(FileId build, FileId probe) {\n"
+                "  RecordDegrade(DegradeReason::kRoleReversal);\n"
+                "  RecordDegrade(DegradeReason::kRoleReversal);\n"
+                "  ReverseRoles(&build, &probe);\n"
+                "  return JoinInMemory(build, probe);\n"
+                "}\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "recovery-ledger-discipline");
+  EXPECT_NE(fs[0].message.find("never happened"), std::string::npos);
+}
+
+TEST(HjlintRecoveryLedgerTest, FlagsOrphanRecord) {
+  auto fs = Lint("src/join/bad.cc",
+                "Status J(FileId build, FileId probe) {\n"
+                "  RecordDegrade(DegradeReason::kChunkedBuild);\n"
+                "  return JoinInMemory(build, probe);\n"
+                "}\n");
+  ASSERT_TRUE(HasRule(fs, "recovery-ledger-discipline"));
+  EXPECT_EQ(fs[0].line, 2u);
+}
+
+TEST(HjlintRecoveryLedgerTest, FlagsRecordTooFarFromAction) {
+  // The record exists but outside the +/-3 line window — both sides
+  // flag, so the pairing stays visually adjacent in real code.
+  auto fs = Lint("src/join/bad.cc",
+                "Status J(FileId build, FileId probe) {\n"
+                "  RecordDegrade(DegradeReason::kChunkedBuild);\n"
+                "  int a = 1;\n"
+                "  int b = 2;\n"
+                "  int c = 3;\n"
+                "  int d = 4;\n"
+                "  return JoinChunked(build, probe, matches);\n"
+                "}\n");
+  EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST(HjlintRecoveryLedgerTest, AcceptsAdjacentPairsAndDefinitions) {
+  // The project idiom: record immediately before the action; `return
+  // Action(...)` is a call site, `Class::Action(` / `Status Action(`
+  // are not. The adjacent BNL/chunked cluster pairs greedily.
+  auto fs = Lint("src/join/good.cc",
+                "Status DiskGraceJoin::SpillVictim(PartitionResidency* res) {\n"
+                "  return Status::OK();\n"
+                "}\n"
+                "Status J(FileId build, FileId probe) {\n"
+                "  RecordDegrade(DegradeReason::kVictimSpill);\n"
+                "  HJ_RETURN_IF_ERROR(SpillVictim(&res));\n"
+                "  if (one_key) {\n"
+                "    RecordDegrade(DegradeReason::kBlockNestedLoop);\n"
+                "    return JoinBlockNestedLoop(build, probe, matches);\n"
+                "  }\n"
+                "  RecordDegrade(DegradeReason::kChunkedBuild);\n"
+                "  return JoinChunked(build, probe, matches);\n"
+                "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(HjlintRecoveryLedgerTest, IgnoresFilesOutsideSrc) {
+  // Tests drive the ladder directly without touching the ledger.
+  auto fs = Lint("tests/grace_disk_test.cc",
+                "  ReverseRoles(&build, &probe);\n");
+  EXPECT_TRUE(fs.empty());
+}
+
 // --- bench-schema-sync -----------------------------------------------
 
 TEST(HjlintBenchSchemaTest, FlagsKeyTheReporterNeverEmits) {

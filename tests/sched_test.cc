@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "hash/hash_table.h"
 #include "join/grace_disk.h"
 #include "sched/join_scheduler.h"
 #include "sched/memory_broker.h"
@@ -221,6 +222,73 @@ TEST(MemoryBrokerTest, RevokeListenerFiresWithNewSize) {
   EXPECT_EQ(seen.load(), 70 * kKiB);
 }
 
+TEST(MemoryBrokerTest, LateListenerInstallCatchesUpOnPastRevokes) {
+  MemoryBroker broker(100 * kKiB);
+  auto a = broker.Acquire(20 * kKiB, 100 * kKiB);
+  ASSERT_TRUE(a.ok());
+
+  // Before any revoke, installing must NOT fire — nothing was missed,
+  // and a spurious call would look like a revoke that never happened.
+  std::atomic<uint64_t> calls{0}, seen{0};
+  auto listener = [&](uint64_t b) {
+    calls.fetch_add(1);
+    seen.store(b);
+  };
+  a.value()->SetRevokeListener(listener);
+  EXPECT_EQ(calls.load(), 0u);
+
+  // Revoke with no listener installed: the notification is gone.
+  a.value()->SetRevokeListener({});
+  auto b = broker.Acquire(30 * kKiB, 30 * kKiB);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(calls.load(), 0u);
+
+  // Late install after the revoke: the catch-up fires exactly once,
+  // from this (installing) thread, with the live grant size.
+  a.value()->SetRevokeListener(listener);
+  EXPECT_EQ(calls.load(), 1u);
+  EXPECT_EQ(seen.load(), 70 * kKiB);
+  EXPECT_EQ(seen.load(), a.value()->bytes());
+}
+
+TEST(MemoryBrokerTest, RevokeListenerIsSafeUnderConcurrentRevokes) {
+  // The locking contract: the callback runs on revoking threads (other
+  // queries' admissions) with no broker locks held, so it must be
+  // thread-safe and must not call back into the broker. A store-only
+  // listener under four churning acquirers must observe a value history
+  // consistent with the grant's own low watermark.
+  MemoryBroker broker(128 * kKiB);
+  auto a = broker.Acquire(16 * kKiB, 128 * kKiB);
+  ASSERT_TRUE(a.ok());
+  std::atomic<uint64_t> min_seen{UINT64_MAX};
+  a.value()->SetRevokeListener([&](uint64_t b) {
+    uint64_t cur = min_seen.load();
+    while (b < cur && !min_seen.compare_exchange_weak(cur, b)) {
+    }
+  });
+
+  std::atomic<int> failed{0};
+  std::vector<std::thread> churn;
+  for (int t = 0; t < 4; ++t) {
+    churn.emplace_back([&broker, &failed] {
+      for (int i = 0; i < 25; ++i) {
+        auto g = broker.Acquire(8 * kKiB, 16 * kKiB, /*timeout_seconds=*/5.0);
+        if (!g.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        g.value()->Release();
+      }
+    });
+  }
+  for (auto& t : churn) t.join();
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_GT(a.value()->revokes(), 0u);
+  // Values may arrive out of order, but the smallest notified size is
+  // exactly the smallest the grant ever held.
+  EXPECT_EQ(min_seen.load(), a.value()->low_watermark());
+}
+
 // ---------- Grant-aware disk join: revoke -> spill, regrow -> un-spill --
 
 DiskConfig FastDisk() {
@@ -402,6 +470,84 @@ TEST(JoinSchedulerTest, ConcurrentFaultyJoinsAllProduceCorrectCounts) {
     injected += qs.io.injected_faults;
   }
   EXPECT_GT(injected, 0u) << "fault injection never fired; test is vacuous";
+}
+
+/// The robust hybrid configuration the revoke-storm rides on: adaptive
+/// fan-out, residency-managed partitions, and the grant's revoke
+/// listener wired in as the eager eviction hint.
+StatusOr<uint64_t> RunRobustHybridQuery(QueryContext& ctx,
+                                        const JoinWorkload& w) {
+  BufferManager bm(FastDisks(2));
+  bm.SetReadAheadBudget(ctx.GrantFn());
+
+  DiskJoinConfig cfg;
+  cfg.dynamic_budget = ctx.GrantFn();
+  cfg.initial_grant_bytes = ctx.grant().initial_bytes();
+  cfg.adaptive_fanout = true;
+  cfg.hybrid_residency = true;
+  cfg.install_revoke_listener = ctx.RevokeListenerInstaller();
+  DiskGraceJoin join(&bm, cfg);
+  HJ_ASSIGN_OR_RETURN(auto build, join.StoreRelation(w.build));
+  HJ_ASSIGN_OR_RETURN(auto probe, join.StoreRelation(w.probe));
+  HJ_ASSIGN_OR_RETURN(DiskJoinResult r, join.Join(build, probe));
+  ctx.stats().recovery = r.recovery;
+  return r.output_tuples;
+}
+
+TEST(JoinSchedulerTest, RevokeStormAllJoinsConvergeWithBalancedLedgers) {
+  // 2x oversubscription: every query desires its whole working set, the
+  // broker budget covers half of what max_concurrent of them want, and
+  // mixed priorities keep admissions churning grants both ways. Every
+  // join must converge to the exact match count, and the spill/un-spill
+  // ledgers must stay internally consistent.
+  const uint64_t kTuples = 4000;
+  const uint64_t pages = kTuples * 26 / (8 * kKiB) + 1;
+  const uint64_t ws = pages * 8 * kKiB + HashTable::EstimateBytes(kTuples);
+
+  SchedulerConfig cfg;
+  cfg.max_concurrent = 4;
+  cfg.pool_threads = 4;
+  cfg.max_queue = 16;
+  cfg.memory_budget = ws * 2;
+  JoinScheduler sched(cfg);
+
+  const int kQueries = 8;
+  std::vector<JoinWorkload> loads;
+  for (int q = 0; q < kQueries; ++q) loads.push_back(SmallWorkload(kTuples));
+  for (int q = 0; q < kQueries; ++q) {
+    JoinRequest req;
+    req.name = "s" + std::to_string(q);
+    req.priority = q % 3;
+    req.min_grant_bytes = std::max<uint64_t>(ws / 8, 8 * kKiB);
+    req.desired_grant_bytes = ws;
+    req.body = [&loads, q](QueryContext& ctx) {
+      return RunRobustHybridQuery(ctx, loads[size_t(q)]);
+    };
+    ASSERT_TRUE(sched.Submit(std::move(req)).ok());
+  }
+  ServiceStats stats = sched.Drain();
+  ASSERT_EQ(stats.queries.size(), size_t(kQueries));
+  EXPECT_EQ(stats.completed, uint64_t(kQueries));
+  EXPECT_EQ(stats.failed, 0u);
+
+  uint64_t spills = 0, unspills = 0;
+  for (const QueryStats& qs : stats.queries) {
+    ASSERT_TRUE(qs.status.ok()) << qs.name << ": " << qs.status.ToString();
+    int q = qs.name[1] - '0';
+    EXPECT_EQ(qs.output_tuples, loads[size_t(q)].expected_matches) << qs.name;
+    // A spill classified as revoke-forced requires an actual revoke in
+    // this grant's history — the classification cannot invent one.
+    if (qs.recovery.revoke_spills > 0) {
+      EXPECT_GT(qs.grant_revokes, 0u) << qs.name;
+    }
+    spills += qs.recovery.victim_spills;
+    unspills += qs.recovery.victim_unspills;
+  }
+  // The storm forced evictions somewhere, and only evicted partitions
+  // can be re-admitted.
+  EXPECT_GT(spills, 0u);
+  EXPECT_LE(unspills, spills);
+  EXPECT_GT(sched.broker().total_revokes(), 0u);
 }
 
 TEST(JoinSchedulerTest, FullQueueRejectsWithResourceExhausted) {

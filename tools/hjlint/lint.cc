@@ -542,6 +542,116 @@ void CheckRawMutexRule(const std::string& path,
 }
 
 // ---------------------------------------------------------------------
+// Rule: recovery-ledger-discipline
+//
+// Every degradation action in the robust hybrid join — role reversal,
+// recursive split, chunked build, block nested loop, victim spill and
+// un-spill — must be accounted in the DiskJoinRecovery ledger through
+// exactly one adjacent RecordDegrade(...) call, the single accounting
+// chokepoint. An action without a record is an unexplained degradation
+// (the bench's per-reason classification silently undercounts); a
+// record without an action inflates the ledger. The rule pairs each
+// action call site with one RecordDegrade call within +/-3 lines inside
+// the same function segment, one-to-one, and flags both leftovers.
+// ---------------------------------------------------------------------
+
+/// True when the token at `p` (length `token_len`) in `line` is a call
+/// site: followed by '(' and not a declaration or definition. `return
+/// Foo(...)` and `HJ_RETURN_IF_ERROR(Foo(...))` are calls; `Status
+/// Foo(...)` (type token before the name) and `Class::Foo(...)` (the
+/// out-of-line definition) are not.
+bool IsLedgerCallSite(const std::string& line, size_t p, size_t token_len) {
+  size_t open = line.find_first_not_of(" \t", p + token_len);
+  if (open == std::string::npos || line[open] != '(') return false;
+  if (p == 0) return true;
+  size_t before = line.find_last_not_of(" \t", p - 1);
+  if (before == std::string::npos) return true;
+  char c = line[before];
+  if (c == ':') return false;  // `DiskGraceJoin::Foo(` — definition
+  if (IsIdentChar(c)) {
+    size_t wbeg = before + 1;
+    while (wbeg > 0 && IsIdentChar(line[wbeg - 1])) --wbeg;
+    return line.compare(wbeg, before + 1 - wbeg, "return") == 0;
+  }
+  return true;
+}
+
+void CheckRecoveryLedgerRule(const std::string& path,
+                             const std::vector<std::string>& code_lines,
+                             std::vector<Finding>* findings) {
+  if (!UnderSrc(path)) return;
+  static const char* kActions[] = {"ReverseRoles", "RecurseSplit",
+                                   "JoinChunked",  "JoinBlockNestedLoop",
+                                   "SpillVictim",  "UnspillPartition"};
+  constexpr size_t kWindow = 3;
+
+  size_t seg_begin = 0;
+  while (seg_begin < code_lines.size()) {
+    size_t seg_end = SegmentEnd(code_lines, seg_begin);
+
+    struct Site {
+      size_t line_idx;
+      const char* name;
+      bool matched = false;
+    };
+    std::vector<Site> actions;
+    std::vector<Site> records;
+    for (size_t i = seg_begin; i < seg_end; ++i) {
+      const std::string& line = code_lines[i];
+      for (const char* name : kActions) {
+        size_t p = FindWord(line, name);
+        if (p != std::string::npos &&
+            IsLedgerCallSite(line, p, std::strlen(name))) {
+          actions.push_back({i, name, false});
+        }
+      }
+      size_t p = FindWord(line, "RecordDegrade");
+      if (p != std::string::npos &&
+          IsLedgerCallSite(line, p, std::strlen("RecordDegrade"))) {
+        records.push_back({i, "RecordDegrade", false});
+      }
+    }
+
+    // One-to-one pairing: each action claims the nearest unclaimed
+    // record within the window (actions in source order).
+    for (Site& a : actions) {
+      Site* best = nullptr;
+      size_t best_dist = kWindow + 1;
+      for (Site& r : records) {
+        if (r.matched) continue;
+        size_t dist = a.line_idx > r.line_idx ? a.line_idx - r.line_idx
+                                              : r.line_idx - a.line_idx;
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = &r;
+        }
+      }
+      if (best != nullptr) {
+        best->matched = true;
+        a.matched = true;
+      }
+    }
+    for (const Site& a : actions) {
+      if (a.matched) continue;
+      findings->push_back(
+          {"recovery-ledger-discipline", path, uint32_t(a.line_idx + 1),
+           std::string(a.name) +
+               "() degrades the join without an adjacent "
+               "RecordDegrade(...) — the DiskJoinRecovery ledger "
+               "undercounts and this degradation goes unexplained"});
+    }
+    for (const Site& r : records) {
+      if (r.matched) continue;
+      findings->push_back(
+          {"recovery-ledger-discipline", path, uint32_t(r.line_idx + 1),
+           "RecordDegrade(...) with no adjacent degradation action — "
+           "the ledger counts a degradation that never happened"});
+    }
+    seg_begin = seg_end + 1;
+  }
+}
+
+// ---------------------------------------------------------------------
 // Rule: bench-schema-sync (cross-file)
 // ---------------------------------------------------------------------
 
@@ -626,6 +736,9 @@ std::vector<Finding> LintFile(const std::string& path,
   }
   if (RuleEnabled(rules, "raw-mutex-primitive")) {
     CheckRawMutexRule(path, code_lines, &findings);
+  }
+  if (RuleEnabled(rules, "recovery-ledger-discipline")) {
+    CheckRecoveryLedgerRule(path, code_lines, &findings);
   }
   return findings;
 }
@@ -724,7 +837,8 @@ JsonValue FindingsToJson(const std::vector<Finding>& findings) {
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       "spp-ring-power-of-two", "prefetch-stage-discipline",
-      "dropped-status", "raw-mutex-primitive", "bench-schema-sync"};
+      "dropped-status", "raw-mutex-primitive",
+      "recovery-ledger-discipline", "bench-schema-sync"};
   return kRules;
 }
 

@@ -37,6 +37,12 @@ struct Finding {
 ///    Mutex/MutexLock/CondVar wrappers (util/mutex.h), never the std
 ///    primitives directly, or thread-safety analysis has no capability
 ///    to track.
+///  - recovery-ledger-discipline: under src/, every degradation action
+///    of the robust hybrid join (ReverseRoles/RecurseSplit/JoinChunked/
+///    JoinBlockNestedLoop/SpillVictim/UnspillPartition call site) must
+///    pair one-to-one with a RecordDegrade(...) call within +/-3 lines,
+///    so the DiskJoinRecovery ledger explains every degradation and
+///    never counts one that did not happen.
 std::vector<Finding> LintFile(const std::string& path,
                               const std::string& contents,
                               const std::vector<std::string>& rules);
