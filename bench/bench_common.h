@@ -9,7 +9,9 @@
 #include "join/grace.h"
 #include "model/cost_model.h"
 #include "mem/memory_model.h"
+#include "perf/calibrate.h"
 #include "simcache/memory_sim.h"
+#include "tune/prefetch_tuner.h"
 #include "util/flags.h"
 #include "util/json_writer.h"
 #include "workload/generator.h"
@@ -195,6 +197,22 @@ inline uint32_t TunedCoroWidth(const model::CodeCosts& costs,
   return model::ChooseParams(costs, machine).group_size;
 }
 
+/// Model-chosen kernel parameters for a simulated machine: the same
+/// Theorem 1+2 sizing the real-hardware resolver applies, fed with the
+/// sim config's latency and bandwidth gap instead of a calibration. Sim
+/// drivers use this instead of hardcoding depths (hjlint's
+/// tuned-depth-handoff rule).
+inline KernelParams SimTunedParams(const model::CodeCosts& costs,
+                                   const sim::SimConfig& cfg) {
+  model::MachineParams machine{cfg.memory_latency,
+                               cfg.memory_bandwidth_gap};
+  model::ParamChoice choice = model::ChooseParams(costs, machine);
+  KernelParams p;
+  p.group_size = choice.group_size;
+  p.prefetch_distance = choice.prefetch_distance;
+  return p;
+}
+
 /// Per-stage code costs of the probe loop, taken from the simulator's
 /// Table-2 instruction estimates. On real hardware these are approximate
 /// — they parameterize Theorems 1 and 2, whose G/D output is insensitive
@@ -244,6 +262,172 @@ inline JsonValue SimRunToJson(const SimRun& r) {
   o.Set("outputs", r.outputs);
   o.Set("sim", SimStatsToJson(r.stats));
   return o;
+}
+
+// ---------------------------------------------------------------------------
+// Shared G/D tuning resolution (--tune=off|static|online). One resolver
+// for every bench driver: drivers must not hardcode depths or carry
+// their own calibration blocks (hjlint's tuned-depth-handoff rule).
+
+/// How a bench picks G and D.
+enum class TuneMode {
+  kOff,     ///< paper-default KernelParams, no calibration
+  kStatic,  ///< calibrate T/Tnext/max_outstanding once, Theorems 1+2
+  kOnline,  ///< static choice as reference + PrefetchTuner per batch
+};
+
+inline const char* TuneModeName(TuneMode m) {
+  switch (m) {
+    case TuneMode::kOff:
+      return "off";
+    case TuneMode::kStatic:
+      return "static";
+    case TuneMode::kOnline:
+      return "online";
+  }
+  return "off";
+}
+
+/// Parses `--tune=off|static|online`, honoring the older `--auto-tune`
+/// spelling as an alias for `--tune=static`. Unknown values are fatal.
+inline TuneMode TuneModeFromFlags(const FlagParser& flags) {
+  std::string value = flags.GetString("tune", "");
+  if (value.empty() || value == "true") {
+    return flags.GetBool("auto-tune", false) ? TuneMode::kStatic
+                                             : TuneMode::kOff;
+  }
+  if (value == "off") return TuneMode::kOff;
+  if (value == "static") return TuneMode::kStatic;
+  if (value == "online") return TuneMode::kOnline;
+  std::fprintf(stderr,
+               "unknown --tune value '%s' (valid: off, static, online)\n",
+               value.c_str());
+  std::exit(2);
+}
+
+/// Paper-default kernel parameters for the join phase: the T=150 optima
+/// G=19, D=1 (KernelParams' own defaults).
+inline KernelParams PaperJoinDefaults() { return KernelParams{}; }
+
+/// Paper-default kernel parameters for the partition phase: G=14, D=4
+/// (§6's partition-loop optima at T=150).
+inline KernelParams PaperPartitionDefaults() {
+  KernelParams p;
+  p.group_size = 14;
+  p.prefetch_distance = 4;
+  return p;
+}
+
+/// The simulated machine's join-phase optima (the fig10/fig18/fig19
+/// empirical sweep: G=14, D=1 at the simulator's T=150 — the paper's
+/// machine lands at G=19). One definition so the sim drivers never
+/// hardcode depths individually (tuned-depth-handoff).
+inline KernelParams SimPaperJoinParams() {
+  KernelParams p;
+  p.group_size = 14;
+  p.prefetch_distance = 1;
+  return p;
+}
+
+/// The simulated machine's partition-loop optima (G=14, D=2).
+inline KernelParams SimPaperPartitionParams() {
+  KernelParams p;
+  p.group_size = 14;
+  p.prefetch_distance = 2;
+  return p;
+}
+
+/// The outcome of ResolveTuning: the mode, the calibration (when one
+/// ran), the model's feasibility-and-clamp record, and ready-to-use
+/// KernelParams (the static choice; online runs start from it and let
+/// the tuner take over through KernelParams::live).
+struct TuningResolution {
+  TuneMode mode = TuneMode::kOff;
+  bool calibrated = false;
+  perf::CalibrationResult calibration;
+  model::ParamChoice choice;
+  KernelParams params;
+
+  /// The shared "tuning" block of a bench record, so every driver's JSON
+  /// shows how its depths were chosen (and when the LFB ceiling clamped
+  /// them). bench_diff --check validates this block when present.
+  JsonValue ToJson() const {
+    JsonValue o = JsonValue::Object();
+    o.Set("mode", TuneModeName(mode));
+    o.Set("calibrated", calibrated);
+    o.Set("max_outstanding", calibration.max_outstanding);
+    o.Set("G", params.group_size);
+    o.Set("D", params.prefetch_distance);
+    o.Set("group_feasible", choice.group_feasible);
+    o.Set("swp_feasible", choice.swp_feasible);
+    o.Set("group_lfb_clamped", choice.group_lfb_clamped);
+    o.Set("swp_lfb_clamped", choice.swp_lfb_clamped);
+    return o;
+  }
+};
+
+/// Resolves G and D for one bench from the shared flags: kOff returns
+/// `defaults` untouched; kStatic/kOnline calibrate this host (T, Tnext,
+/// and the LFB/MSHR `max_outstanding` ceiling) and run Theorems 1+2
+/// through model::ChooseParams, which clamps against the measured
+/// outstanding-miss limit. --smoke shrinks the calibration buffers the
+/// same way for every driver.
+inline TuningResolution ResolveTuning(const FlagParser& flags,
+                                      const model::CodeCosts& costs,
+                                      const KernelParams& defaults) {
+  TuningResolution r;
+  r.mode = TuneModeFromFlags(flags);
+  r.params = defaults;
+  if (r.mode == TuneMode::kOff) return r;
+  perf::CalibrationOptions copt;
+  if (flags.GetBool("smoke", false)) {
+    copt.buffer_bytes = 4ull << 20;
+    copt.chase_steps = 200'000;
+    copt.lfb.steps_per_chain = 20'000;
+  }
+  r.calibration = perf::CalibrateMachine(copt);
+  r.calibrated = true;
+  r.choice = perf::TuneFromCalibration(r.calibration, costs);
+  r.params.group_size = r.choice.group_size;
+  r.params.prefetch_distance = r.choice.prefetch_distance;
+  std::printf(
+      "tune(%s): T=%u Tnext=%u max_outstanding=%u -> G=%u%s D=%u%s%s\n",
+      TuneModeName(r.mode), r.calibration.t_cycles,
+      r.calibration.tnext_cycles, r.calibration.max_outstanding,
+      r.params.group_size, r.choice.group_lfb_clamped ? " (lfb-clamped)" : "",
+      r.params.prefetch_distance,
+      r.choice.swp_lfb_clamped ? " (lfb-clamped)" : "",
+      r.calibration.used_counters ? "" : " (no cycle counter; ns-based)");
+  return r;
+}
+
+/// Seeds a PrefetchTuner from a resolution: the ramp is capped by the
+/// measured LFB ceiling (when known) and by the static choice's search
+/// cap, and the depth-to-D projection uses the phase's k.
+inline tune::TunerConfig TunerConfigFromResolution(
+    const TuningResolution& r, const model::CodeCosts& costs) {
+  tune::TunerConfig cfg;
+  cfg.stages_k = costs.k();
+  cfg.max_outstanding = r.calibration.max_outstanding;
+  return cfg;
+}
+
+/// Serialized tuner trajectory for the bench records: one entry per
+/// batch with the depth held and the cost observed, so sweeps can plot
+/// online convergence against the offline best.
+inline JsonValue TunerTrajectoryJson(const tune::PrefetchTuner& tuner) {
+  JsonValue arr = JsonValue::Array();
+  for (const tune::TunerSample& s : tuner.trajectory()) {
+    JsonValue o = JsonValue::Object();
+    o.Set("batch", s.batch);
+    o.Set("depth", s.depth);
+    o.Set("G", s.group_size);
+    o.Set("D", s.prefetch_distance);
+    o.Set("cycles_per_tuple", s.cycles_per_tuple);
+    o.Set("misses_per_tuple", s.misses_per_tuple);
+    arr.Append(std::move(o));
+  }
+  return arr;
 }
 
 }  // namespace bench

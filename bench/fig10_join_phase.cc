@@ -24,10 +24,8 @@ using namespace hashjoin::bench;
 namespace {
 
 KernelParams PaperParams() {
-  KernelParams p;
-  p.group_size = 14;        // our simulated machine's optimum (paper: 19)
-  p.prefetch_distance = 1;  // optimum at T=150 (same as the paper's)
-  return p;
+  // Our simulated machine's optimum G=14 (paper: 19), D=1 at T=150.
+  return SimPaperJoinParams();
 }
 
 // The coroutine width W hides the same latency G group slots do, so it

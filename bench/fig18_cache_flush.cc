@@ -33,8 +33,7 @@ uint64_t JoinPhaseCycles(const Config& c, const JoinWorkload& w,
   gc.partition_scheme = Scheme::kGroup;
   gc.combined_partition = true;
   gc.cache_mode = c.mode;
-  gc.join_params.group_size = 14;
-  gc.join_params.prefetch_distance = 1;
+  gc.join_params = SimPaperJoinParams();
   JoinResult r = GraceHashJoin(mm, w.build, w.probe, gc, nullptr);
   return r.join_phase.sim.TotalCycles();
 }

@@ -52,10 +52,8 @@ void RunPoint(const char* xlabel, const JoinWorkload& w, uint64_t budget) {
     gc.combined_partition = c.mode != GraceConfig::CacheMode::kNone ||
                             c.partition_scheme != Scheme::kBaseline;
     gc.cache_mode = c.mode;
-    gc.join_params.group_size = 14;
-    gc.join_params.prefetch_distance = 1;
-    gc.partition_params.group_size = 14;
-    gc.partition_params.prefetch_distance = 2;
+    gc.join_params = SimPaperJoinParams();
+    gc.partition_params = SimPaperPartitionParams();
     JoinResult r = GraceHashJoin(mm, w.build, w.probe, gc, nullptr);
     uint64_t part = r.partition_phase.sim.TotalCycles();
     uint64_t join = r.join_phase.sim.TotalCycles();

@@ -44,9 +44,7 @@ int main(int argc, char** argv) {
     return simulator.stats();
   };
   auto run_array = [&](Scheme scheme) {
-    KernelParams params;
-    params.group_size = 14;
-    return RunJoinPhaseSim(scheme, w, params, cfg).stats;
+    return RunJoinPhaseSim(scheme, w, SimPaperJoinParams(), cfg).stats;
   };
 
   PrintBreakdown("chained baseline", run_chained(ChainedPrefetch::kNone));

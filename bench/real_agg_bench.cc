@@ -5,8 +5,9 @@
 
 // --json[=path] switches to the machine-readable harness (see
 // src/perf/bench_reporter.h), writing BENCH_real_agg.json; --smoke
-// shrinks the fact table for ctest; --auto-tune calibrates T/Tnext and
-// picks G and D from the models.
+// shrinks the fact table for ctest; --tune=static (alias: --auto-tune)
+// calibrates T/Tnext plus the LFB ceiling and picks G and D from the
+// models via the shared bench::ResolveTuning resolver.
 
 #include <benchmark/benchmark.h>
 
@@ -135,22 +136,12 @@ int RunJsonHarness(const FlagParser& flags) {
   opt.warmup = int(flags.GetInt("warmup", 1));
   perf::BenchReporter reporter(std::move(opt));
 
-  uint32_t tuned_g = 19, tuned_d = 4;
-  if (flags.GetBool("auto-tune", false)) {
-    perf::CalibrationOptions copt;
-    if (smoke) {
-      copt.buffer_bytes = 4ull << 20;
-      copt.chase_steps = 200'000;
-    }
-    perf::CalibrationResult cal = perf::CalibrateMachine(copt);
-    reporter.SetCalibration(cal);
-    model::ParamChoice choice =
-        perf::TuneFromCalibration(cal, AggregateCodeCosts());
-    tuned_g = choice.group_size;
-    tuned_d = choice.prefetch_distance;
-    std::printf("auto-tune: T=%u Tnext=%u -> G=%u D=%u\n", cal.t_cycles,
-                cal.tnext_cycles, tuned_g, tuned_d);
-  }
+  // Shared tuning resolution (see bench_common.h): one path for every
+  // scheme, clamped against the measured LFB/MSHR ceiling.
+  const bench::TuningResolution tuning = bench::ResolveTuning(
+      flags, AggregateCodeCosts(), bench::PaperJoinDefaults());
+  const KernelParams tuned = tuning.params;
+  if (tuning.calibrated) reporter.SetCalibration(tuning.calibration);
 
   std::vector<uint64_t> group_counts =
       smoke ? std::vector<uint64_t>{1 << 10}
@@ -170,11 +161,7 @@ int RunJsonHarness(const FlagParser& flags) {
   for (uint64_t groups : group_counts) {
     const Relation facts = MakeFacts(groups, num_facts);
     for (Scheme scheme : schemes) {
-      KernelParams params;
-      params.group_size =
-          (scheme == Scheme::kGroup || scheme == Scheme::kCoro) ? tuned_g
-                                                                : 1;
-      params.prefetch_distance = scheme == Scheme::kSwp ? tuned_d : 1;
+      const KernelParams params = tuned;
       std::unique_ptr<HashAggTable> agg;
       uint64_t out_groups = 0;
       JsonValue config = JsonValue::Object();
@@ -201,6 +188,7 @@ int RunJsonHarness(const FlagParser& flags) {
           });
       rec.Set("outputs", out_groups);
       rec.Set("verified", out_groups <= groups && out_groups > 0);
+      rec.Set("tuning", tuning.ToJson());
     }
   }
 
@@ -236,7 +224,7 @@ int main(int argc, char** argv) {
   }
 
   const char* repo_flags[] = {"--smoke", "--trials", "--warmup",
-                              "--auto-tune", "--scheme"};
+                              "--tune", "--auto-tune", "--scheme"};
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];

@@ -23,9 +23,13 @@
 // --json[=path] switches to the machine-readable harness: warm-up +
 // repeated trials per configuration, hardware counters when available
 // (see src/perf/), one BENCH_real_join.json record per configuration.
-// --smoke shrinks the workload to ctest size; --auto-tune calibrates
-// T/Tnext on this host and picks G and D from the paper's models
-// instead of the hard-coded KernelParams defaults.
+// --smoke shrinks the workload to ctest size; --tune=off|static|online
+// picks how G and D are chosen (bench::ResolveTuning): off uses the
+// paper defaults, static calibrates T/Tnext/max_outstanding on this
+// host and applies Theorems 1+2 with the LFB clamp, and online
+// additionally runs the per-batch PrefetchTuner feedback loop and
+// records its trajectory. --auto-tune is the legacy alias for
+// --tune=static.
 
 #include <benchmark/benchmark.h>
 
@@ -112,16 +116,14 @@ void BM_Join_Coro(benchmark::State& state) {
 }
 #endif
 
-// Ablations at the pivot point (100B tuples, G=19).
+// Ablations at the pivot point (100B tuples, the paper-default G).
 void BM_Join_Group_NoMemoizedHash(benchmark::State& state) {
-  KernelParams p;
-  p.group_size = 19;
+  KernelParams p = bench::PaperJoinDefaults();
   p.hash_mode = HashCodeMode::kCompute;
   RunJoin(state, Scheme::kGroup, p, 100);
 }
 void BM_Join_Group_NoOutputPrefetch(benchmark::State& state) {
-  KernelParams p;
-  p.group_size = 19;
+  KernelParams p = bench::PaperJoinDefaults();
   p.prefetch_output = false;
   RunJoin(state, Scheme::kGroup, p, 100);
 }
@@ -251,6 +253,155 @@ JoinWorkload MakeWorkload(uint32_t tuple_size, uint64_t working_set_bytes) {
   return GenerateJoinWorkload(spec);
 }
 
+// --tune=online: probe the (pre-built) hash table batch by batch while a
+// tune::PrefetchTuner ramps G/D from live per-batch counters, published
+// to the kernels through KernelParams::live at batch boundaries. One
+// record per depth-sensitive scheme, with the full tuner trajectory, so
+// fig12_param_sweep --real can compare online convergence against the
+// offline-best depth.
+void RunOnlineJoinSection(perf::BenchReporter* reporter,
+                          const FlagParser& flags,
+                          const bench::TuningResolution& tuning,
+                          const JoinWorkload& w, uint32_t tuple_size,
+                          uint64_t working_set, bool smoke) {
+  RealMemory mm;
+  // Pre-split the probe input into batch slices (setup, untimed): batch
+  // boundaries are where counters are read and new depths adopted.
+  const size_t pages = w.probe.num_pages();
+  const size_t num_batches = std::min<size_t>(smoke ? 12 : 48, pages);
+  std::vector<Relation> batches;
+  batches.reserve(num_batches);
+  for (size_t b = 0; b < num_batches; ++b) {
+    const size_t begin = b * pages / num_batches;
+    const size_t end = (b + 1) * pages / num_batches;
+    Relation slice(w.probe.schema());
+    for (size_t p = begin; p < end; ++p) {
+      slice.AppendCopiedPage(w.probe.page(p).data());
+    }
+    batches.push_back(std::move(slice));
+  }
+
+  for (Scheme scheme : bench::SchemesFromFlag(flags)) {
+    if (scheme == Scheme::kBaseline || scheme == Scheme::kSimple) {
+      continue;  // no depth to tune
+    }
+    KernelParams params = tuning.params;
+    LiveTuning live;
+    params.live = &live;
+    tune::TunerConfig tcfg =
+        bench::TunerConfigFromResolution(tuning, ProbeCodeCosts());
+    if (scheme == Scheme::kCoro) {
+      // An AMAC-style interleave width is not LFB-bound: each chain
+      // holds at most one outstanding prefetch and issue is spread over
+      // resumes, so widths past the measured ceiling still pay (the
+      // --real sweep places W* above it on this host). Feedback and
+      // max_depth alone bound the coro ramp.
+      tcfg.max_outstanding = 0;
+    }
+    tune::PrefetchTuner tuner(tcfg);
+    live.Publish(tuner.group_size(), tuner.prefetch_distance());
+    const uint32_t initial_g = tuner.group_size();
+    const uint32_t initial_d = tuner.prefetch_distance();
+
+    HashTable ht(ChooseBucketCount(w.build.num_tuples(), 31));
+    BuildPartition(mm, scheme, w.build, &ht, params);
+    Relation out(ConcatSchema(w.build.schema(), w.probe.schema()));
+
+    perf::PerfCounters counters;
+    const bool have_pmu = counters.available();
+    const double ghz =
+        tuning.calibration.cpu_ghz > 0 ? tuning.calibration.cpu_ghz : 3.0;
+
+    uint64_t outputs = 0;
+    double total_cycles = 0;
+    uint64_t total_tuples = 0;
+    WallTimer total;
+    for (const Relation& slice : batches) {
+      WallTimer batch_timer;
+      if (have_pmu) counters.Start();
+      outputs += ProbePartition(mm, scheme, slice, ht, tuple_size, params,
+                                &out);
+      if (have_pmu) counters.Stop();
+      tune::BatchReading reading;
+      reading.tuples = slice.num_tuples();
+      reading.cycles = double(batch_timer.ElapsedNanos()) * ghz;
+      if (have_pmu && counters.values().cycles.has_value()) {
+        reading.cycles = double(*counters.values().cycles);
+      }
+      if (have_pmu && counters.values().l1d_misses.has_value()) {
+        reading.l1d_misses = double(*counters.values().l1d_misses);
+      }
+      total_cycles += reading.cycles;
+      total_tuples += reading.tuples;
+      if (tuner.OnBatch(reading)) {
+        live.Publish(tuner.group_size(), tuner.prefetch_distance());
+      }
+      // Reset the output between batches (outside the timed window):
+      // letting ~400MB of matches accumulate makes late batches
+      // allocation- and TLB-bound regardless of depth, and the tuner
+      // would chase that drift instead of the depth response. A real
+      // operator pipeline hands output pages downstream anyway.
+      out.Clear();
+    }
+    const double wall = total.ElapsedSeconds();
+    const bool ok = outputs == w.expected_matches;
+
+    // Converged cost: the best batch cost seen at the final depth (the
+    // quantity the offline sweep's per-depth best compares against).
+    double converged_cost = -1;
+    for (const tune::TunerSample& s : tuner.trajectory()) {
+      if (s.depth != tuner.depth()) continue;
+      if (converged_cost < 0 || s.cycles_per_tuple < converged_cost) {
+        converged_cost = s.cycles_per_tuple;
+      }
+    }
+
+    JsonValue rec = JsonValue::Object();
+    rec.Set("name", std::string("online/") + SchemeName(scheme));
+    JsonValue config = JsonValue::Object();
+    config.Set("phase", "online");
+    config.Set("scheme", SchemeName(scheme));
+    config.Set("G", tuning.params.group_size);  // static reference choice
+    config.Set("D", tuning.params.prefetch_distance);
+    config.Set("threads", 1);
+    config.Set("tuple_size", tuple_size);
+    config.Set("build_tuples", w.build.num_tuples());
+    config.Set("probe_tuples", w.probe.num_tuples());
+    config.Set("working_set_bytes", working_set);
+    config.Set("batches", uint64_t(num_batches));
+    rec.Set("config", std::move(config));
+    rec.Set("trials", 1);
+    rec.Set("warmup", 0);
+    JsonValue wall_obj = JsonValue::Object();
+    wall_obj.Set("median", wall);
+    wall_obj.Set("min", wall);
+    wall_obj.Set("mean", wall);
+    rec.Set("wall_seconds", std::move(wall_obj));
+    rec.Set("counters", JsonValue());
+    rec.Set("counters_unavailable",
+            "per-batch counter windows feed the online tuner");
+    rec.Set("outputs", outputs);
+    rec.Set("verified", ok);
+    rec.Set("tuning", tuning.ToJson());
+    JsonValue tj = JsonValue::Object();
+    tj.Set("initial_G", initial_g);
+    tj.Set("initial_D", initial_d);
+    tj.Set("final_G", tuner.group_size());
+    tj.Set("final_D", tuner.prefetch_distance());
+    tj.Set("converged", tuner.converged());
+    tj.Set("batches_seen", uint64_t(tuner.batches()));
+    tj.Set("depth_cap", tcfg.max_outstanding > 0
+                            ? std::min(tcfg.max_depth, tcfg.max_outstanding)
+                            : tcfg.max_depth);
+    tj.Set("cycles_per_tuple",
+           total_tuples > 0 ? total_cycles / double(total_tuples) : 0.0);
+    tj.Set("converged_cycles_per_tuple", converged_cost);
+    tj.Set("trajectory", bench::TunerTrajectoryJson(tuner));
+    rec.Set("tuner", std::move(tj));
+    reporter->AddRawRecord(std::move(rec));
+  }
+}
+
 int RunJsonHarness(const FlagParser& flags) {
   const bool smoke = flags.GetBool("smoke", false);
   const uint32_t tuple_size =
@@ -268,40 +419,21 @@ int RunJsonHarness(const FlagParser& flags) {
   opt.warmup = int(flags.GetInt("warmup", 1));
   perf::BenchReporter reporter(std::move(opt));
 
-  KernelParams tuned;  // paper defaults: G=19, D=1
-  if (flags.GetBool("auto-tune", false)) {
-    perf::CalibrationOptions copt;
-    if (smoke) {
-      copt.buffer_bytes = 4ull << 20;
-      copt.chase_steps = 200'000;
-    }
-    perf::CalibrationResult cal = perf::CalibrateMachine(copt);
-    reporter.SetCalibration(cal);
-    model::ParamChoice choice =
-        perf::TuneFromCalibration(cal, ProbeCodeCosts());
-    tuned.group_size = choice.group_size;
-    tuned.prefetch_distance = choice.prefetch_distance;
-    std::printf("auto-tune: T=%u Tnext=%u -> G=%u D=%u%s\n", cal.t_cycles,
-                cal.tnext_cycles, tuned.group_size,
-                tuned.prefetch_distance,
-                cal.used_counters ? "" : " (no cycle counter; ns-based)");
-  }
+  // One shared tuning resolution for every scheme — no per-scheme
+  // special cases: the coroutine interleave width is the same Theorem-1
+  // group size GP uses, so a single resolver serves all of them.
+  const bench::TuningResolution tuning = bench::ResolveTuning(
+      flags, ProbeCodeCosts(), bench::PaperJoinDefaults());
+  const KernelParams tuned = tuning.params;
+  if (tuning.calibrated) reporter.SetCalibration(tuning.calibration);
 
   const JoinWorkload w = MakeWorkload(tuple_size, working_set);
   RealMemory mm;
 
   // --- join phase (build + probe), every scheme in --scheme (default:
   // all compiled in) ---
-  const bool auto_tuned = flags.GetBool("auto-tune", false);
   for (Scheme scheme : bench::SchemesFromFlag(flags)) {
     KernelParams params = tuned;
-    if (scheme == Scheme::kCoro && !auto_tuned) {
-      // Coroutine interleave width from the same Theorem-1 model GP's
-      // group size comes from (auto-tune already did this from the
-      // calibrated T/Tnext).
-      params.group_size =
-          bench::TunedCoroWidth(ProbeCodeCosts(), sim::SimConfig{});
-    }
     std::unique_ptr<HashTable> ht;
     std::unique_ptr<Relation> out;
     uint64_t outputs = 0;
@@ -334,6 +466,13 @@ int RunJsonHarness(const FlagParser& flags) {
         });
     rec.Set("outputs", outputs);
     rec.Set("verified", ok);
+    rec.Set("tuning", tuning.ToJson());
+  }
+
+  // --- online tuning: per-batch feedback loop (--tune=online) ---
+  if (tuning.mode == bench::TuneMode::kOnline) {
+    RunOnlineJoinSection(&reporter, flags, tuning, w, tuple_size,
+                         working_set, smoke);
   }
 
   // --- full GRACE join on the morsel executor, 1..N threads ---
@@ -370,6 +509,7 @@ int RunJsonHarness(const FlagParser& flags) {
     // here when the executor ran against the simulator (skew_bench).
     rec.Set("per_thread_sim_threads",
             uint64_t(result.per_thread_join_sim.size()));
+    rec.Set("tuning", tuning.ToJson());
   }
 
   // --- disk-backed join through the fault-tolerant I/O path ---
@@ -481,7 +621,7 @@ int main(int argc, char** argv) {
   uint64_t fault_seed = uint64_t(flags.GetInt("fault-seed", 0x5EED));
 
   const char* repo_flags[] = {"--threads", "--fault-rate", "--fault-seed",
-                              "--scheme"};
+                              "--scheme",  "--tune",       "--auto-tune"};
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];

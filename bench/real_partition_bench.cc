@@ -15,7 +15,8 @@
 // src/perf/bench_reporter.h): warm-up + trials per configuration with
 // hardware counters when available, written to
 // BENCH_real_partition.json. --smoke shrinks the input for ctest;
-// --auto-tune calibrates T/Tnext and picks G and D from the models.
+// --tune=static (alias: --auto-tune) calibrates T/Tnext plus the LFB
+// ceiling and picks G and D via the shared bench::ResolveTuning.
 
 #include <benchmark/benchmark.h>
 
@@ -194,25 +195,12 @@ int RunJsonHarness(const FlagParser& flags) {
   opt.warmup = int(flags.GetInt("warmup", 1));
   perf::BenchReporter reporter(std::move(opt));
 
-  KernelParams tuned;
-  tuned.group_size = 14;  // the paper's partition-loop optima
-  tuned.prefetch_distance = 4;
-  if (flags.GetBool("auto-tune", false)) {
-    perf::CalibrationOptions copt;
-    if (smoke) {
-      copt.buffer_bytes = 4ull << 20;
-      copt.chase_steps = 200'000;
-    }
-    perf::CalibrationResult cal = perf::CalibrateMachine(copt);
-    reporter.SetCalibration(cal);
-    model::ParamChoice choice =
-        perf::TuneFromCalibration(cal, PartitionCodeCosts());
-    tuned.group_size = choice.group_size;
-    tuned.prefetch_distance = choice.prefetch_distance;
-    std::printf("auto-tune: T=%u Tnext=%u -> G=%u D=%u\n", cal.t_cycles,
-                cal.tnext_cycles, tuned.group_size,
-                tuned.prefetch_distance);
-  }
+  // Shared tuning resolution (see bench_common.h): paper partition-loop
+  // optima when --tune=off, calibrated + LFB-clamped otherwise.
+  const bench::TuningResolution tuning = bench::ResolveTuning(
+      flags, PartitionCodeCosts(), bench::PaperPartitionDefaults());
+  const KernelParams tuned = tuning.params;
+  if (tuning.calibrated) reporter.SetCalibration(tuning.calibration);
 
   const Relation input =
       GenerateSourceRelation(num_tuples, tuple_size, 42);
@@ -259,6 +247,7 @@ int RunJsonHarness(const FlagParser& flags) {
           });
       rec.Set("outputs", total);
       rec.Set("verified", ok);
+      rec.Set("tuning", tuning.ToJson());
     }
   }
 
@@ -294,7 +283,8 @@ int main(int argc, char** argv) {
   double fault_rate = flags.GetDouble("fault-rate", 0.0);
   uint64_t fault_seed = uint64_t(flags.GetInt("fault-seed", 0x5EED));
 
-  const char* repo_flags[] = {"--fault-rate", "--fault-seed", "--scheme"};
+  const char* repo_flags[] = {"--fault-rate", "--fault-seed", "--scheme",
+                              "--tune", "--auto-tune"};
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     std::string a = argv[i];

@@ -58,9 +58,9 @@ int main(int argc, char** argv) {
   for (Scheme s : schemes) std::printf(" %14s", SchemeName(s));
   std::printf("\n");
 
-  KernelParams params;
-  params.group_size = 14;
-  params.prefetch_distance = 2;
+  // Model-chosen depths for the simulated machine (the build loop shares
+  // the probe loop's bucket-walk stage structure) — no hardcoded G/D.
+  KernelParams params = SimTunedParams(ProbeCodeCosts(), cfg);
   for (double theta : {0.0, 0.5, 0.8, 0.99, 1.1}) {
     Relation build =
         theta == 0.0

@@ -220,7 +220,7 @@ void BuildSimple(MM& mm, const Relation& build, HashTable* ht,
 template <typename MM>
 void BuildGroup(MM& mm, const Relation& build, HashTable* ht,
                 const KernelParams& params) {
-  const uint32_t group = std::max(1u, params.group_size);
+  uint32_t group = params.EffectiveGroupSize();
   BuildContext<MM> ctx(&mm, ht, build, params.hash_mode);
   const auto& cfg = mm.config();
   std::vector<BuildState> states(group);
@@ -230,6 +230,13 @@ void BuildGroup(MM& mm, const Relation& build, HashTable* ht,
   // Group prefetching can tolerate any number of delayed tuples (skewed
   // keys); `delayed` holds state indices, processed serially below.
   while (more) {
+    // Group boundary: adopt a live-tuned G while no tuple is in flight.
+    const uint32_t next_group = params.EffectiveGroupSize();
+    if (next_group != group) {
+      group = next_group;
+      states.resize(group);
+      delayed.reserve(group);
+    }
     uint32_t g = 0;
     while (g < group) {
       mm.Busy(cfg.cost_stage_overhead_gp);
@@ -267,7 +274,9 @@ void BuildGroup(MM& mm, const Relation& build, HashTable* ht,
 template <typename MM>
 void BuildSwp(MM& mm, const Relation& build, HashTable* ht,
               const KernelParams& params) {
-  const uint64_t d = std::max(1u, params.prefetch_distance);
+  // Live-tuned D is adopted once per pass: ring size, stage offsets, and
+  // the waiting-queue state indices all depend on it.
+  const uint64_t d = params.EffectiveDistance();
   constexpr uint32_t kStages = 2;  // k = 2 dependent references
   BuildContext<MM> ctx(&mm, ht, build, params.hash_mode);
   const auto& cfg = mm.config();

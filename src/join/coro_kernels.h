@@ -119,15 +119,16 @@ KernelCoro ProbeChain(ProbeContext<MM>& ctx, ProbeState& st) {
   }
 }
 
-/// Coroutine-interleaved probing. Interleave width W comes from
-/// params.group_size (the drivers feed it from model::ChooseParams, the
-/// same Theorem-1 sizing GP uses: W concurrent chains hide the same
-/// latency G concurrent group slots do).
+/// Coroutine-interleaved probing. Interleave width W comes from the
+/// effective group size (the drivers feed it from model::ChooseParams or
+/// an online tuner — the same Theorem-1 sizing GP uses: W concurrent
+/// chains hide the same latency G concurrent group slots do). W is fixed
+/// for the life of the pipeline; live overrides apply at pass start.
 template <typename MM>
 uint64_t ProbeCoro(MM& mm, const Relation& probe, const HashTable& ht,
                    uint32_t build_tuple_size, const KernelParams& params,
                    Relation* out, ProbeStats* stats = nullptr) {
-  const uint32_t width = std::max(1u, params.group_size);
+  const uint32_t width = params.EffectiveGroupSize();
   ProbeContext<MM> ctx(&mm, &ht, build_tuple_size,
                        probe.schema().fixed_size(), probe, out, params);
   std::vector<ProbeState> states(width);
@@ -159,7 +160,7 @@ KernelCoro BuildChain(BuildContext<MM>& ctx, BuildState& st,
 template <typename MM>
 void BuildCoro(MM& mm, const Relation& build, HashTable* ht,
                const KernelParams& params) {
-  const uint32_t width = std::max(1u, params.group_size);
+  const uint32_t width = params.EffectiveGroupSize();
   BuildContext<MM> ctx(&mm, ht, build, params.hash_mode);
   std::vector<BuildState> states(width);
   RunCoroPipeline(mm, width, [&](uint32_t i) {
@@ -195,7 +196,7 @@ template <typename MM>
 void PartitionCoro(MM& mm, const Relation& input, PartitionSinkSet* sinks,
                    uint32_t num_partitions, const KernelParams& params,
                    uint32_t hash_divisor = 1, PageRange range = PageRange{}) {
-  const uint32_t width = std::max(1u, params.group_size);
+  const uint32_t width = params.EffectiveGroupSize();
   PartitionContext<MM> ctx(&mm, sinks, num_partitions, input, hash_divisor,
                            range);
   std::vector<PartitionState> states(width);

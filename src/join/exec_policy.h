@@ -147,8 +147,9 @@ uint64_t ProbePartition(MM& mm, Scheme scheme, const Relation& probe,
 }
 
 /// Dispatches hash aggregation on scheme. Group takes its strip size and
-/// coro its interleave width from params.group_size; SPP takes its
-/// prefetch distance from params.prefetch_distance.
+/// coro its interleave width from the effective (live-tuned or static)
+/// group size; SPP takes the effective prefetch distance. The dispatch
+/// is the pass boundary, so live overrides are adopted here.
 template <typename MM>
 void AggregateRelation(MM& mm, Scheme scheme, const Relation& input,
                        uint32_t value_offset, HashAggTable* agg,
@@ -161,14 +162,14 @@ void AggregateRelation(MM& mm, Scheme scheme, const Relation& input,
       return AggregateSimple(mm, input, value_offset, agg);
     case Scheme::kGroup:
       return AggregateGroup(mm, input, value_offset, agg,
-                            params.group_size);
+                            params.EffectiveGroupSize());
     case Scheme::kSwp:
       return AggregateSwp(mm, input, value_offset, agg,
-                          params.prefetch_distance);
+                          params.EffectiveDistance());
     case Scheme::kCoro:
 #if HASHJOIN_HAS_COROUTINES
       return AggregateCoro(mm, input, value_offset, agg,
-                           params.group_size);
+                           params.EffectiveGroupSize());
 #else
       return;  // unreachable: RequireSchemeCompiled checked
 #endif

@@ -71,7 +71,7 @@ void ProbePageCounting(const HashTable& ht, SlottedPage& pg, Scheme scheme,
       }
       return;
     case Scheme::kGroup: {
-      const int group = int(std::max(1u, params.group_size));
+      const int group = int(params.EffectiveGroupSize());
       for (int base = 0; base < n; base += group) {
         const int g = std::min(group, n - base);
         for (int i = 0; i < g; ++i) {
@@ -84,7 +84,7 @@ void ProbePageCounting(const HashTable& ht, SlottedPage& pg, Scheme scheme,
       return;
     }
     case Scheme::kSwp: {
-      const int d = int(std::max(1u, params.prefetch_distance));
+      const int d = int(params.EffectiveDistance());
       for (int s = 0; s < std::min(d, n); ++s) {
         mm.Prefetch(SlotBucket(ht, pg, s), sizeof(BucketHeader));
       }
@@ -99,7 +99,7 @@ void ProbePageCounting(const HashTable& ht, SlottedPage& pg, Scheme scheme,
     case Scheme::kCoro: {
 #if HASHJOIN_HAS_COROUTINES
       int next = 0;
-      RunCoroPipeline(mm, std::max(1u, params.group_size), [&](uint32_t) {
+      RunCoroPipeline(mm, params.EffectiveGroupSize(), [&](uint32_t) {
         return ProbePageChain(mm, ht, pg, next, matches);
       });
       return;

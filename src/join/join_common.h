@@ -1,6 +1,8 @@
 #ifndef HASHJOIN_JOIN_JOIN_COMMON_H_
 #define HASHJOIN_JOIN_JOIN_COMMON_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -81,13 +83,58 @@ enum class HashCodeMode {
   kCompute,
 };
 
+/// Live G/D overrides published by an online tuner (tune::PrefetchTuner
+/// glue in the benches) and consumed by the kernels at batch boundaries.
+/// 0 means "no override: use the static KernelParams value". Writers
+/// Publish() between batches; readers load with acquire at safe
+/// re-read points only — group kernels at each group boundary, pipelined
+/// and coroutine kernels at pass start (their ring size / chain count is
+/// fixed for the life of a pass).
+struct LiveTuning {
+  std::atomic<uint32_t> group_size{0};
+  std::atomic<uint32_t> prefetch_distance{0};
+
+  void Publish(uint32_t g, uint32_t d) {
+    group_size.store(g, std::memory_order_release);
+    prefetch_distance.store(d, std::memory_order_release);
+  }
+};
+
 /// Tuning parameters shared by the prefetching kernels.
+///
+/// Kernels must read G and D through EffectiveGroupSize() /
+/// EffectiveDistance() — the policy/tuner handoff — never through the
+/// raw members, so an attached LiveTuning override reaches every scheme
+/// uniformly (hjlint's tuned-depth-handoff rule pins the bench side of
+/// this contract).
 struct KernelParams {
   uint32_t group_size = 19;        // G; the paper's optimum at T=150
   uint32_t prefetch_distance = 1;  // D; the paper's optimum at T=150
   HashCodeMode hash_mode = HashCodeMode::kMemoized;
   /// Prefetch the output tail the emit stage will write (ablatable).
   bool prefetch_output = true;
+  /// Optional online-tuner override channel; not owned. nullptr (the
+  /// default) preserves purely static behavior.
+  const LiveTuning* live = nullptr;
+
+  /// G as the kernels should use it right now: the live override when
+  /// one is attached and published, else the static member; never 0.
+  uint32_t EffectiveGroupSize() const {
+    if (live != nullptr) {
+      uint32_t g = live->group_size.load(std::memory_order_acquire);
+      if (g != 0) return g;
+    }
+    return std::max(1u, group_size);
+  }
+
+  /// D as the kernels should use it right now; never 0.
+  uint32_t EffectiveDistance() const {
+    if (live != nullptr) {
+      uint32_t d = live->prefetch_distance.load(std::memory_order_acquire);
+      if (d != 0) return d;
+    }
+    return std::max(1u, prefetch_distance);
+  }
 };
 
 /// Per-phase measurement: simulated cycle breakdown (when run against

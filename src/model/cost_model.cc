@@ -156,20 +156,36 @@ ParamChoice ChooseParams(const CodeCosts& costs, const MachineParams& machine,
       GroupPrefetchModel::MinGroupSize(costs, machine, max_group);
   choice.group_feasible = g != 0;
   if (g == 0) {
-    HJ_LOG(Warning) << "Theorem 1 has no feasible group size <= "
-                    << max_group << " for T=" << machine.full_latency
-                    << " (C0=" << costs.c[0]
-                    << "); falling back to G=" << fallback_group;
+    HJ_LOG_ONCE(Warning)
+        << "Theorem 1 has no feasible group size <= " << max_group
+        << " for T=" << machine.full_latency << " (C0=" << costs.c[0]
+        << "); falling back to G=" << fallback_group
+        << " (further occurrences suppressed)";
     g = fallback_group;
   }
   uint32_t d =
       SwpPrefetchModel::MinDistance(costs, machine, max_distance);
   choice.swp_feasible = d != 0;
   if (d == 0) {
-    HJ_LOG(Warning) << "Theorem 2 has no feasible prefetch distance <= "
-                    << max_distance << " for T=" << machine.full_latency
-                    << "; falling back to D=" << fallback_distance;
+    HJ_LOG_ONCE(Warning)
+        << "Theorem 2 has no feasible prefetch distance <= " << max_distance
+        << " for T=" << machine.full_latency << "; falling back to D="
+        << fallback_distance << " (further occurrences suppressed)";
     d = fallback_distance;
+  }
+  // The LFB/MSHR ceiling overrides the theorems: depths the memory system
+  // cannot sustain only queue prefetches behind full fill buffers.
+  if (machine.max_outstanding > 0) {
+    const uint32_t cap = std::max(1u, machine.max_outstanding);
+    if (g > cap) {
+      g = cap;
+      choice.group_lfb_clamped = true;
+    }
+    const uint32_t dcap = std::max(1u, cap / std::max(1u, costs.k()));
+    if (d > dcap) {
+      d = dcap;
+      choice.swp_lfb_clamped = true;
+    }
   }
   choice.group_size = g;
   choice.prefetch_distance = d;

@@ -10,9 +10,15 @@ namespace model {
 /// Machine parameters of the generalized prefetching models (Table 1):
 /// T is the full latency of a cache miss; Tnext the additional latency of
 /// a pipelined miss (the inverse of memory bandwidth).
+///
+/// `max_outstanding` is outside the paper's model: the measured number of
+/// misses the memory system can keep in flight per core (load fill buffer
+/// / MSHR capacity). 0 means unknown/unmeasured, in which case only the
+/// Theorem 1/2 bounds apply.
 struct MachineParams {
   uint32_t full_latency = 150;    // T
   uint32_t bandwidth_gap = 10;    // Tnext
+  uint32_t max_outstanding = 0;   // LFB/MSHR ceiling; 0 = unknown
 };
 
 /// Per-stage execution times C0..Ck of the processing of one element,
@@ -96,11 +102,16 @@ uint64_t BaselineCycles(const CodeCosts& costs, const MachineParams& machine,
 /// A feasibility-checked (G, D) selection. `*_feasible` records whether
 /// Theorem 1 / Theorem 2 had a solution within the search caps; when
 /// not, the corresponding parameter is the caller-supplied fallback.
+/// `*_lfb_clamped` records that the theorem (or fallback) value exceeded
+/// `MachineParams::max_outstanding` and was reduced to fit it; the
+/// feasibility flags always describe the pre-clamp theorem outcome.
 struct ParamChoice {
   uint32_t group_size = 0;
   uint32_t prefetch_distance = 0;
   bool group_feasible = false;
   bool swp_feasible = false;
+  bool group_lfb_clamped = false;
+  bool swp_lfb_clamped = false;
 };
 
 /// Picks the minimum feasible G and D for (costs, machine), resolving
@@ -109,6 +120,15 @@ struct ParamChoice {
 /// to turn model output directly into KernelParams: G=0 would make the
 /// group kernels process empty groups and D=0 would collapse the
 /// software pipeline to a zero-length state array.
+///
+/// When `machine.max_outstanding > 0`, the result is additionally clamped
+/// against the LFB/MSHR ceiling: a group issues up to G prefetches per
+/// stage and the software pipeline keeps up to k*D lines in flight, so
+///   G <= max_outstanding   and   D <= max_outstanding / k
+/// (both floored at 1). Theorem 1/2 give *sufficient* depths for hiding
+/// latency; exceeding the machine's outstanding-miss capacity only queues
+/// prefetches behind full fill buffers and evicts earlier lines (§4.2's
+/// conflict-miss argument), so the ceiling wins.
 ParamChoice ChooseParams(const CodeCosts& costs, const MachineParams& machine,
                          uint32_t fallback_group = 19,
                          uint32_t fallback_distance = 1,

@@ -21,6 +21,7 @@ JsonValue CalibrationResult::ToJson() const {
   o.Set("t_cycles", t_cycles);
   o.Set("tnext_cycles", tnext_cycles);
   o.Set("buffer_bytes", buffer_bytes);
+  o.Set("max_outstanding", max_outstanding);
   return o;
 }
 
@@ -128,18 +129,33 @@ CalibrationResult CalibrateMachine(const CalibrationOptions& options) {
 
   result.line_gap_ns = stream.ns / double(lines);
   if (stream.cycles > 0) {
-    result.tnext_cycles =
-        std::max<uint32_t>(1, uint32_t(stream.cycles / double(lines) + 0.5));
+    result.tnext_cycles = uint32_t(stream.cycles / double(lines) + 0.5);
   } else {
-    result.tnext_cycles = std::max<uint32_t>(
-        1, uint32_t(result.line_gap_ns * result.cpu_ghz + 0.5));
+    result.tnext_cycles =
+        uint32_t(result.line_gap_ns * result.cpu_ghz + 0.5);
   }
-  // A dependent miss can never be cheaper than a pipelined one.
-  if (result.t_cycles < result.tnext_cycles) {
-    result.t_cycles = result.tnext_cycles;
+
+  // --- max_outstanding: LFB/MSHR concurrency knee ---
+  if (options.probe_lfb) {
+    tune::LfbProbeOptions lfb = options.lfb;
+    if (lfb.buffer_bytes == 0) lfb.buffer_bytes = options.buffer_bytes;
+    result.max_outstanding = tune::ProbeLfbConcurrency(lfb).max_outstanding;
   }
-  if (result.t_cycles == 0) result.t_cycles = 1;
+
+  SanitizeCalibration(&result);
   return result;
+}
+
+void SanitizeCalibration(CalibrationResult* result) {
+  // Tnext = 0 is the documented no-feasible-D degenerate input of
+  // SwpPrefetchModel::MinDistance; truncation in the ns→cycles
+  // conversion can produce it on fast-DRAM/low-GHz hosts.
+  if (result->tnext_cycles == 0) result->tnext_cycles = 1;
+  // A dependent miss can never be cheaper than a pipelined one.
+  if (result->t_cycles < result->tnext_cycles) {
+    result->t_cycles = result->tnext_cycles;
+  }
+  if (result->t_cycles == 0) result->t_cycles = 1;
 }
 
 model::ParamChoice TuneFromCalibration(const CalibrationResult& calibration,

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "model/cost_model.h"
+#include "tune/lfb_probe.h"
 #include "util/json_writer.h"
 
 namespace hashjoin {
@@ -22,9 +23,12 @@ struct CalibrationResult {
   uint32_t t_cycles = 0;       // T  = load_latency_ns * cpu_ghz
   uint32_t tnext_cycles = 0;   // Tnext = line_gap_ns * cpu_ghz
   uint64_t buffer_bytes = 0;   // working-set size the chase ran over
+  /// Measured LFB/MSHR outstanding-miss ceiling (tune::ProbeLfbConcurrency
+  /// knee); 0 = not measured or the probe judged itself unreliable.
+  uint32_t max_outstanding = 0;
 
   model::MachineParams ToMachineParams() const {
-    return model::MachineParams{t_cycles, tnext_cycles};
+    return model::MachineParams{t_cycles, tnext_cycles, max_outstanding};
   }
 
   JsonValue ToJson() const;
@@ -41,6 +45,16 @@ struct CalibrationOptions {
   /// Used to convert ns to cycles when no cycle counter is available
   /// (the PMU measures the true frequency when it is).
   double fallback_ghz = 3.0;
+  /// Also run tune::ProbeLfbConcurrency and record the knee in
+  /// `max_outstanding`. The probe's buffer defaults to `lfb.buffer_bytes`
+  /// unless that is 0, in which case it inherits `buffer_bytes` above
+  /// (so smoke configurations shrink both probes together).
+  bool probe_lfb = true;
+  tune::LfbProbeOptions lfb = [] {
+    tune::LfbProbeOptions o;
+    o.buffer_bytes = 0;  // inherit CalibrationOptions::buffer_bytes
+    return o;
+  }();
 };
 
 /// Measures T with a random-permutation pointer chase (each load's
@@ -51,6 +65,15 @@ struct CalibrationOptions {
 /// `fallback_ghz`. Deterministic for a fixed seed; wall-clock noise is
 /// bounded by taking the fastest of 3 timing windows.
 CalibrationResult CalibrateMachine(const CalibrationOptions& options = {});
+
+/// Clamps a calibration to the model's documented-feasible domain:
+/// Tnext >= 1 (MinDistance has no feasible D at Tnext = 0 with zero
+/// stage costs — the truncation in the ns→cycles conversion can emit
+/// exactly that on fast-DRAM/low-GHz hosts), T >= Tnext >= 1 (a
+/// dependent miss can never be cheaper than a pipelined one).
+/// CalibrateMachine applies this itself; it is public so synthetic or
+/// deserialized calibrations get the same guarantee.
+void SanitizeCalibration(CalibrationResult* result);
 
 /// The measured-machine → kernel-parameter pipeline: calibration output
 /// plus per-stage code costs go through Theorems 1 and 2

@@ -1,0 +1,162 @@
+#include "tune/prefetch_tuner.h"
+
+#include <algorithm>
+
+namespace hashjoin {
+namespace tune {
+
+namespace {
+
+uint32_t ClampDepth(uint32_t depth, uint32_t lo, uint32_t hi) {
+  return std::min(std::max(depth, lo), hi);
+}
+
+// Ramp schedule: double while small, then grow 1.5x. Real depth-response
+// curves have their optimum at moderate depth (Theorem-1 minima and the
+// fig12 sweeps land in the 8..32 band); doubling past 8 jumps over it
+// and the back-off can only return to the last power of two.
+uint32_t NextRampDepth(uint32_t depth) {
+  if (depth < 8) return depth * 2;
+  return depth + std::max(1u, depth / 2);
+}
+
+}  // namespace
+
+PrefetchTuner::PrefetchTuner(const TunerConfig& config) : config_(config) {
+  config_.min_depth = std::max(1u, config_.min_depth);
+  config_.max_depth = std::max(config_.min_depth, config_.max_depth);
+  config_.stages_k = std::max(1u, config_.stages_k);
+  depth_ = ClampDepth(config_.initial_depth, config_.min_depth, DepthCap());
+  best_depth_ = depth_;
+}
+
+uint32_t PrefetchTuner::DepthCap() const {
+  uint32_t cap = config_.max_depth;
+  if (config_.max_outstanding > 0) {
+    cap = std::min(cap, config_.max_outstanding);
+  }
+  return std::max(cap, config_.min_depth);
+}
+
+uint32_t PrefetchTuner::group_size() const { return depth_; }
+
+uint32_t PrefetchTuner::prefetch_distance() const {
+  return std::max(1u, depth_ / config_.stages_k);
+}
+
+bool PrefetchTuner::SetDepth(uint32_t depth) {
+  depth = ClampDepth(depth, config_.min_depth, DepthCap());
+  if (depth == depth_) return false;
+  depth_ = depth;
+  return true;
+}
+
+bool PrefetchTuner::OnBatch(const BatchReading& reading) {
+  if (reading.tuples == 0 || reading.cycles <= 0) return false;
+  ++batch_;
+  const double cost = reading.cycles / double(reading.tuples);
+  const double miss = reading.l1d_misses >= 0
+                          ? reading.l1d_misses / double(reading.tuples)
+                          : -1;
+  TunerSample sample;
+  sample.batch = batch_;
+  sample.depth = depth_;
+  sample.group_size = group_size();
+  sample.prefetch_distance = prefetch_distance();
+  sample.cycles_per_tuple = cost;
+  sample.misses_per_tuple = miss;
+  trajectory_.push_back(sample);
+
+  const bool cost_regressed =
+      best_cost_ >= 0 && cost > best_cost_ * (1.0 + config_.cost_tolerance);
+  const bool miss_regressed =
+      miss >= 0 && best_miss_ >= 0 &&
+      miss > best_miss_ * (1.0 + config_.miss_tolerance);
+  const bool regressed = cost_regressed || miss_regressed;
+
+  bool changed = false;
+  switch (state_) {
+    case State::kWarmup: {
+      ++warmup_seen_;
+      if (warmup_seen_ >= std::max(1u, config_.warmup_batches)) {
+        // Last warmup reading becomes the ramp baseline.
+        best_cost_ = cost;
+        best_miss_ = miss;
+        best_depth_ = depth_;
+        state_ = State::kRamp;
+        if (depth_ < DepthCap()) {
+          changed = SetDepth(NextRampDepth(depth_));
+        } else {
+          state_ = State::kConverged;
+        }
+      }
+      break;
+    }
+    case State::kRamp: {
+      if (regressed) {
+        // One noisy batch must not end the ramp: hold the depth and
+        // remeasure once; back off only if the retry regresses too.
+        if (!ramp_retried_) {
+          ramp_retried_ = true;
+          break;
+        }
+        ramp_retried_ = false;
+        // Confirmed: the previous (smaller) depth was better.
+        changed = SetDepth(best_depth_);
+        state_ = State::kConverged;
+        break;
+      }
+      ramp_retried_ = false;
+      if (best_cost_ < 0 || cost < best_cost_) {
+        best_cost_ = cost;
+        best_depth_ = depth_;
+      }
+      if (miss >= 0 && (best_miss_ < 0 || miss < best_miss_)) {
+        best_miss_ = miss;
+      }
+      if (depth_ < DepthCap()) {
+        changed = SetDepth(NextRampDepth(depth_));
+      } else {
+        state_ = State::kConverged;
+      }
+      break;
+    }
+    case State::kConverged: {
+      // Batch noise must not move a converged depth: only an excursion
+      // past the (wide) drift tolerance counts, and the reference is an
+      // EWMA of accepted batches, not the minimum ever seen — a lucky
+      // fast batch would otherwise wedge an unreachable baseline and
+      // every later batch would read as a regression.
+      const bool drifted =
+          (best_cost_ >= 0 &&
+           cost > best_cost_ * (1.0 + config_.drift_tolerance)) ||
+          miss_regressed;
+      if (drifted) {
+        ++converged_regressions_;
+        if (converged_regressions_ >= config_.converged_patience) {
+          // Persistent drift: shrink, forget the stale baseline, and
+          // restart the ramp so the depth can climb back if shrinking
+          // was the wrong response.
+          changed = SetDepth(std::max(config_.min_depth, depth_ / 2));
+          converged_regressions_ = 0;
+          best_cost_ = -1;
+          best_miss_ = -1;
+          best_depth_ = depth_;
+          ramp_retried_ = false;
+          state_ = State::kRamp;
+        }
+      } else {
+        converged_regressions_ = 0;
+        best_cost_ = best_cost_ < 0 ? cost : 0.9 * best_cost_ + 0.1 * cost;
+        if (miss >= 0) {
+          best_miss_ = best_miss_ < 0 ? miss : 0.9 * best_miss_ + 0.1 * miss;
+        }
+      }
+      break;
+    }
+  }
+  return changed;
+}
+
+}  // namespace tune
+}  // namespace hashjoin

@@ -1,6 +1,7 @@
 #ifndef HASHJOIN_UTIL_LOGGING_H_
 #define HASHJOIN_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -36,6 +37,15 @@ class LogMessage {
       ::hashjoin::internal_logging::LogLevel::k##level, __FILE__,         \
       __LINE__)                                                           \
       .stream()
+
+/// One-shot variant of HJ_LOG: the first execution of this source line logs,
+/// later executions are silent. Meant for diagnostics that would otherwise
+/// repeat once per bench record or per worker (e.g. the ChooseParams
+/// infeasible-sentinel fallback). Thread-safe; at most one thread wins.
+#define HJ_LOG_ONCE(level)                                                \
+  for (static ::std::atomic<bool> hj_log_once_flag{false};                \
+       !hj_log_once_flag.exchange(true, ::std::memory_order_relaxed);)    \
+  HJ_LOG(level)
 
 /// Unconditional invariant check; active in all build types because this
 /// library's correctness claims (e.g. conflict handling in interleaved hash

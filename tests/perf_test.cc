@@ -255,6 +255,62 @@ TEST(Calibrate, SmallRunProducesUsableMachineParams) {
   EXPECT_EQ(j.Find("t_cycles")->AsInt(), int64_t(cal.t_cycles));
 }
 
+TEST(Calibrate, SanitizeClampsDegenerateCalibrations) {
+  // Regression: the ns->cycles truncation can emit tnext_cycles == 0 on
+  // fast-DRAM/low-GHz hosts (and t_cycles == 0 on synthetic inputs),
+  // where MinDistance has no feasible D. Sanitize must restore the
+  // documented domain: 1 <= tnext <= t.
+  perf::CalibrationResult cal;
+  cal.t_cycles = 0;
+  cal.tnext_cycles = 0;
+  perf::SanitizeCalibration(&cal);
+  EXPECT_GE(cal.tnext_cycles, 1u);
+  EXPECT_GE(cal.t_cycles, cal.tnext_cycles);
+
+  // A dependent miss reported cheaper than a pipelined one is a
+  // measurement artifact; the sanitized T must cover Tnext.
+  perf::CalibrationResult inverted;
+  inverted.t_cycles = 3;
+  inverted.tnext_cycles = 9;
+  perf::SanitizeCalibration(&inverted);
+  EXPECT_GE(inverted.t_cycles, inverted.tnext_cycles);
+  EXPECT_GE(inverted.tnext_cycles, 1u);
+
+  // Already-sane calibrations pass through untouched.
+  perf::CalibrationResult sane;
+  sane.t_cycles = 150;
+  sane.tnext_cycles = 10;
+  perf::SanitizeCalibration(&sane);
+  EXPECT_EQ(sane.t_cycles, 150u);
+  EXPECT_EQ(sane.tnext_cycles, 10u);
+
+  // The degenerate calibration must now drive the full pipeline without
+  // tripping either 0 sentinel.
+  model::ParamChoice choice =
+      perf::TuneFromCalibration(cal, model::CodeCosts{{0, 0}});
+  EXPECT_GE(choice.group_size, 1u);
+  EXPECT_GE(choice.prefetch_distance, 1u);
+}
+
+TEST(Calibrate, MaxOutstandingFlowsIntoMachineParamsAndJson) {
+  perf::CalibrationResult cal;
+  cal.t_cycles = 150;
+  cal.tnext_cycles = 10;
+  cal.max_outstanding = 12;
+  model::MachineParams m = cal.ToMachineParams();
+  EXPECT_EQ(m.max_outstanding, 12u);
+  JsonValue j = cal.ToJson();
+  ASSERT_NE(j.Find("max_outstanding"), nullptr);
+  EXPECT_EQ(j.Find("max_outstanding")->AsInt(), 12);
+
+  // The ceiling then clamps the tuned choice: k=2 stages at D, G group
+  // slots, both within 12 outstanding misses.
+  model::ParamChoice choice =
+      perf::TuneFromCalibration(cal, model::CodeCosts{{2, 2, 2}});
+  EXPECT_LE(choice.group_size, 12u);
+  EXPECT_LE(choice.prefetch_distance, 6u);
+}
+
 TEST(ChooseParams, MatchesTheoremsWhenFeasible) {
   model::CodeCosts costs{{20, 20, 20}};
   model::MachineParams m{150, 10};

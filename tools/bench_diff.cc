@@ -81,6 +81,33 @@ bool CheckRecord(const JsonValue& rec, size_t index,
   } else if (!counters->is_object()) {
     return err("\"counters\" must be an object or null");
   }
+  // Tuning provenance: optional, but when a record carries it, it must
+  // name its mode (off/static/online) so runs remain comparable.
+  const JsonValue* tuning = rec.Find("tuning");
+  if (tuning != nullptr) {
+    if (!tuning->is_object()) return err("\"tuning\" must be an object");
+    const JsonValue* mode = tuning->Find("mode");
+    if (mode == nullptr || !mode->is_string() || mode->AsString().empty()) {
+      return err("\"tuning.mode\" must be a non-empty string");
+    }
+  }
+  // Online-tuner records: the trajectory (one entry per batch) and the
+  // final depths are the whole point of the record — require them.
+  const JsonValue* tuner = rec.Find("tuner");
+  if (tuner != nullptr) {
+    if (!tuner->is_object()) return err("\"tuner\" must be an object");
+    const JsonValue* trajectory = tuner->Find("trajectory");
+    if (trajectory == nullptr || !trajectory->is_array() ||
+        trajectory->size() == 0) {
+      return err("\"tuner\" without a non-empty \"trajectory\" array");
+    }
+    const JsonValue* final_g = tuner->Find("final_G");
+    const JsonValue* final_d = tuner->Find("final_D");
+    if (final_g == nullptr || !final_g->is_number() || final_d == nullptr ||
+        !final_d->is_number()) {
+      return err("\"tuner\" without numeric \"final_G\"/\"final_D\"");
+    }
+  }
   return true;
 }
 

@@ -652,6 +652,78 @@ void CheckRecoveryLedgerRule(const std::string& path,
 }
 
 // ---------------------------------------------------------------------
+// Rule: tuned-depth-handoff
+//
+// Kernels read G and D through the policy/tuner handoff
+// (KernelParams::EffectiveGroupSize/EffectiveDistance, fed by
+// bench::ResolveTuning or a live PrefetchTuner). A bench driver that
+// assigns an integer literal straight into `group_size` or
+// `prefetch_distance` bypasses that handoff — its records then claim a
+// tuned depth that was actually hardcoded. Bench drivers (.cc under
+// bench/) must take depths from ResolveTuning / PaperJoinDefaults /
+// PaperPartitionDefaults / SimTunedParams instead; sweeps assigning a
+// loop variable are fine (not a literal).
+// ---------------------------------------------------------------------
+
+bool UnderBenchCc(const std::string& path) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  if (norm.size() < 3 || norm.compare(norm.size() - 3, 3, ".cc") != 0) {
+    return false;
+  }
+  return norm.rfind("bench/", 0) == 0 ||
+         norm.find("/bench/") != std::string::npos;
+}
+
+/// True when `s` is a bare integer literal (decimal/hex, digit
+/// separators, unsigned/long suffixes) — `19`, `4u`, `1'000`.
+bool IsIntLiteral(const std::string& s) {
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  for (char c : s) {
+    if (std::isxdigit(static_cast<unsigned char>(c)) || c == 'x' ||
+        c == 'X' || c == '\'' || c == 'u' || c == 'U' || c == 'l' ||
+        c == 'L') {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void CheckTunedDepthRule(const std::string& path,
+                         const std::vector<std::string>& code_lines,
+                         std::vector<Finding>* findings) {
+  if (!UnderBenchCc(path)) return;
+  static const char* kFields[] = {"group_size", "prefetch_distance"};
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    for (const char* field : kFields) {
+      size_t p = FindWord(line, field);
+      if (p == std::string::npos) continue;
+      size_t after = line.find_first_not_of(" \t", p + std::strlen(field));
+      if (after == std::string::npos || line[after] != '=' ||
+          (after + 1 < line.size() && line[after + 1] == '=')) {
+        continue;
+      }
+      std::string rhs = Strip(line.substr(after + 1));
+      if (!rhs.empty() && rhs.back() == ';') {
+        rhs = Strip(rhs.substr(0, rhs.size() - 1));
+      }
+      if (!IsIntLiteral(rhs)) continue;
+      findings->push_back(
+          {"tuned-depth-handoff", path, uint32_t(i + 1),
+           std::string(field) + " = " + rhs +
+               " hardcodes a prefetch depth in a bench driver — take G/D "
+               "from bench::ResolveTuning (or the paper-default/sim "
+               "helpers) so the policy/tuner handoff stays the single "
+               "source of depths"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Rule: bench-schema-sync (cross-file)
 // ---------------------------------------------------------------------
 
@@ -739,6 +811,9 @@ std::vector<Finding> LintFile(const std::string& path,
   }
   if (RuleEnabled(rules, "recovery-ledger-discipline")) {
     CheckRecoveryLedgerRule(path, code_lines, &findings);
+  }
+  if (RuleEnabled(rules, "tuned-depth-handoff")) {
+    CheckTunedDepthRule(path, code_lines, &findings);
   }
   return findings;
 }
@@ -838,7 +913,8 @@ const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       "spp-ring-power-of-two", "prefetch-stage-discipline",
       "dropped-status", "raw-mutex-primitive",
-      "recovery-ledger-discipline", "bench-schema-sync"};
+      "recovery-ledger-discipline", "tuned-depth-handoff",
+      "bench-schema-sync"};
   return kRules;
 }
 

@@ -37,6 +37,11 @@ struct Finding {
 ///    Mutex/MutexLock/CondVar wrappers (util/mutex.h), never the std
 ///    primitives directly, or thread-safety analysis has no capability
 ///    to track.
+///  - tuned-depth-handoff: bench drivers (.cc under bench/) must not
+///    assign integer literals into group_size/prefetch_distance — G and
+///    D come from bench::ResolveTuning (or the paper-default/sim
+///    helpers) so the kernels' policy/tuner handoff is the single
+///    source of depths. Sweeps assigning a loop variable are fine.
 ///  - recovery-ledger-discipline: under src/, every degradation action
 ///    of the robust hybrid join (ReverseRoles/RecurseSplit/JoinChunked/
 ///    JoinBlockNestedLoop/SpillVictim/UnspillPartition call site) must
