@@ -103,6 +103,7 @@ StatusOr<uint64_t> RunQuery(QueryContext& ctx, const QuerySpec& spec,
   ctx.stats().recovery = r.recovery;
   ctx.stats().io = bm.recovery_stats();
   ctx.stats().readahead_throttles = bm.readahead_throttles();
+  ctx.stats().spill_levels = std::move(r.spill_levels);
   return r.output_tuples;
 }
 
@@ -157,6 +158,37 @@ JsonValue DegradationObject(const DiskJoinRecovery& r) {
   return deg;
 }
 
+/// Per-level split summaries: key-hash balance (histogram condensed to
+/// max-bin fraction + occupied bins — the raw 64 bins stay internal) and
+/// realized spill cost per partitioning level.
+JsonValue SpillLevelsArray(const std::vector<SpillLevelStats>& levels) {
+  JsonValue arr = JsonValue::Array();
+  for (const SpillLevelStats& lv : levels) {
+    JsonValue o = JsonValue::Object();
+    o.Set("level", lv.level);
+    o.Set("partitions_written", lv.partitions_written);
+    o.Set("tuples", lv.tuples);
+    o.Set("bytes_written", lv.bytes_written);
+    o.Set("partition_seconds", lv.partition_seconds);
+    o.Set("max_bin_fraction", lv.MaxBinFraction());
+    o.Set("nonzero_bins", lv.NonzeroBins());
+    arr.Append(std::move(o));
+  }
+  return arr;
+}
+
+/// The broker's cache-grant ledger: bytes revoked from the kCache class
+/// and the count of normal-grant revokes that happened while cache
+/// surplus remained — the acceptance invariant is that the latter is 0
+/// (cached tables always go first).
+JsonValue CacheLedgerObject(const MemoryBroker& broker) {
+  JsonValue c = JsonValue::Object();
+  c.Set("broker_revoked_bytes", broker.cache_revoked_bytes());
+  c.Set("normal_revokes_with_cache_surplus",
+        broker.normal_revokes_with_cache_surplus());
+  return c;
+}
+
 JsonValue IoObject(const IoRecoveryStats& io) {
   JsonValue out = JsonValue::Object();
   out.Set("read_retries", io.read_retries);
@@ -192,6 +224,10 @@ int RunRevokeStorm(const FlagParser& flags, bool smoke) {
   const uint64_t mem_budget = uint64_t(flags.GetInt(
       "mem-budget", int64_t(working_set * sched_cfg.max_concurrent / 2)));
   sched_cfg.memory_budget = mem_budget;
+  // --cache-bytes > 0 adds the hash-table cache as the lowest-priority
+  // revocable grant on top of the storm: its surplus must drain before
+  // any query grant is squeezed (verified below by the broker ledger).
+  sched_cfg.cache_bytes = uint64_t(flags.GetInt("cache-bytes", 0));
 
   std::vector<QuerySpec> specs;
   for (int q = 0; q < num_queries; ++q) {
@@ -270,9 +306,14 @@ int RunRevokeStorm(const FlagParser& flags, bool smoke) {
                 (unsigned long long)qs.recovery.recursive_splits,
                 correct ? "" : "  << WRONG COUNT");
   }
+  // Zero-attribution invariant: with the cache enabled, no query grant
+  // may be cut while the cache still held revocable surplus — cached
+  // tables are strictly the first memory to go.
+  const uint64_t cache_misordered =
+      sched.broker().normal_revokes_with_cache_surplus();
   const bool service_ok =
       bad_counts == 0 && stats.failed == 0 &&
-      stats.completed == uint64_t(num_queries);
+      stats.completed == uint64_t(num_queries) && cache_misordered == 0;
   std::printf("\nstorm: %llu completed, %llu failed; makespan %.4fs; "
               "%llu broker revokes, %llu re-grows\n",
               (unsigned long long)stats.completed,
@@ -289,9 +330,18 @@ int RunRevokeStorm(const FlagParser& flags, bool smoke) {
               (unsigned long long)deg.victim_spills,
               (unsigned long long)deg.victim_unspills,
               double(total_io_bytes) / 1024.0);
+  if (sched_cfg.cache_bytes > 0) {
+    std::printf("cache grant: %.1f KiB revoked from cache class, %llu "
+                "normal revokes with cache surplus remaining%s\n",
+                double(sched.broker().cache_revoked_bytes()) / 1024.0,
+                (unsigned long long)cache_misordered,
+                cache_misordered == 0 ? " (ok)" : "  << ORDER VIOLATION");
+  }
   if (!service_ok) {
-    std::printf("FAILURE: %llu queries wrong or failed\n",
-                (unsigned long long)(bad_counts + stats.failed));
+    std::printf("FAILURE: %llu queries wrong or failed, %llu cache-order "
+                "violations\n",
+                (unsigned long long)(bad_counts + stats.failed),
+                (unsigned long long)cache_misordered);
   }
 
   if (flags.Has("json")) {
@@ -336,6 +386,7 @@ int RunRevokeStorm(const FlagParser& flags, bool smoke) {
       rec.Set("degradation_reason", DegradationObject(qs.recovery));
       rec.Set("io_recovery", IoObject(qs.io));
       rec.Set("total_io_bytes", qs.io.bytes_read + qs.io.bytes_written);
+      rec.Set("spill_levels", SpillLevelsArray(qs.spill_levels));
       reporter.AddRawRecord(std::move(rec));
     }
 
@@ -347,6 +398,7 @@ int RunRevokeStorm(const FlagParser& flags, bool smoke) {
     config.Set("working_set", working_set);
     config.Set("max_concurrent", sched_cfg.max_concurrent);
     config.Set("pool_threads", sched_cfg.pool_threads);
+    config.Set("cache_bytes", sched_cfg.cache_bytes);
     rec.Set("config", std::move(config));
     rec.Set("wall_seconds", WallObject(stats.makespan_seconds));
     FinishRawRecord(&rec);
@@ -354,6 +406,7 @@ int RunRevokeStorm(const FlagParser& flags, bool smoke) {
     rec.Set("failed", stats.failed);
     rec.Set("broker_revokes", sched.broker().total_revokes());
     rec.Set("broker_regrows", sched.broker().total_regrows());
+    rec.Set("cache", CacheLedgerObject(sched.broker()));
     rec.Set("degradation_reason", DegradationObject(deg));
     rec.Set("total_io_bytes", total_io_bytes);
     rec.Set("verified", service_ok);
@@ -613,6 +666,7 @@ int main(int argc, char** argv) {
       rec.Set("io_recovery", IoObject(qs.io));
       rec.Set("total_io_bytes", qs.io.bytes_read + qs.io.bytes_written);
       rec.Set("readahead_throttles", qs.readahead_throttles);
+      rec.Set("spill_levels", SpillLevelsArray(qs.spill_levels));
       reporter.AddRawRecord(std::move(rec));
     }
 

@@ -331,6 +331,9 @@ void RunOnlineJoinSection(perf::BenchReporter* reporter,
       if (have_pmu && counters.values().l1d_misses.has_value()) {
         reading.l1d_misses = double(*counters.values().l1d_misses);
       }
+      if (have_pmu && counters.values().stalled_cycles.has_value()) {
+        reading.stalled_cycles = double(*counters.values().stalled_cycles);
+      }
       total_cycles += reading.cycles;
       total_tuples += reading.tuples;
       if (tuner.OnBatch(reading)) {

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <vector>
 
+#include "cache/hash_table_cache.h"
 #include "join/exec_policy.h"
 #include "join/join_common.h"
 #include "mem/memory_model.h"
@@ -88,6 +89,17 @@ struct GraceConfig {
   /// `memory_budget` at sizing time, so an admitted query partitioned
   /// under the grant it actually holds rather than a static default.
   std::function<uint64_t()> dynamic_budget;
+
+  /// Cross-query hash-table cache (not owned; must outlive the call).
+  /// When set and the sizing collapses to a single partition, the join
+  /// consults the cache under `cache_key` before the build phase: a hit
+  /// pins the cached table and probes it directly (any scheme,
+  /// including kCoro), skipping both the partition and build phases; a
+  /// miss runs normally and offers the freshly built table back.
+  /// Multi-partition plans bypass the cache — a partitioned build is
+  /// not reusable as one table.
+  cache::HashTableCache* table_cache = nullptr;
+  cache::CacheKey cache_key;
 };
 
 /// The budget sizing decisions should honor right now: the broker grant
@@ -411,6 +423,31 @@ JoinResult GraceHashJoin(MM& mm, const Relation& build,
                    config.page_size);
   Relation* out = output != nullptr ? output : &discard;
 
+  // --- cache consult (single-partition plans only) ---
+  // A hit pins the cached table and probes the *unpartitioned* probe
+  // relation directly: with one partition the partition pass is a pure
+  // copy, so tuple order — and hence the output byte stream — is
+  // identical to the uncached path.
+  const bool cache_eligible =
+      config.table_cache != nullptr && num_parts == 1 &&
+      config.cache_mode == GraceConfig::CacheMode::kNone &&
+      build.num_tuples() > 0;
+  if (cache_eligible) {
+    cache::PinnedTable pinned =
+        config.table_cache->Acquire(config.cache_key);
+    if (pinned) {
+      result.cache_hit = true;
+      result.join_phase = internal_grace::MeasurePhase(mm, [&] {
+        result.output_tuples = ProbePartition(
+            mm, config.join_scheme, probe, pinned.table(),
+            pinned.build().schema().fixed_size(), config.join_params,
+            out);
+      });
+      result.join_phase.tuples_processed = probe.num_tuples();
+      return result;
+    }
+  }
+
   // --- partition phase (both relations) ---
   std::vector<Relation> build_parts;
   std::vector<Relation> probe_parts;
@@ -431,6 +468,29 @@ JoinResult GraceHashJoin(MM& mm, const Relation& build,
       build.num_tuples() + probe.num_tuples();
 
   // --- join phase ---
+  if (cache_eligible) {
+    // Cache miss on a single-partition plan: build + probe as usual,
+    // but keep the table (and its build partition, which owns the
+    // tuple bytes the table points into) alive and offer both to the
+    // cache instead of destroying them with the stack frame.
+    result.join_phase = internal_grace::MeasurePhase(mm, [&] {
+      Relation& build_part = build_parts[0];
+      auto ht = std::make_unique<HashTable>(
+          ChooseBucketCount(build_part.num_tuples(), 1));
+      BuildPartition(mm, config.join_scheme, build_part, ht.get(),
+                     config.join_params);
+      result.output_tuples = ProbePartition(
+          mm, config.join_scheme, probe_parts[0], *ht,
+          build_part.schema().fixed_size(), config.join_params, out);
+      auto shared_build =
+          std::make_shared<Relation>(std::move(build_part));
+      config.table_cache->Offer(config.cache_key,
+                                std::move(shared_build), std::move(ht));
+    });
+    result.join_phase.tuples_processed =
+        build.num_tuples() + probe.num_tuples();
+    return result;
+  }
   result.join_phase = internal_grace::MeasurePhase(mm, [&] {
     if (pool == nullptr) {
       for (uint32_t p = 0; p < num_parts; ++p) {

@@ -211,6 +211,11 @@ Status DiskGraceJoin::PartitionInto(
     BufferManager::FileId input,
     const std::vector<BufferManager::FileId>& outs, uint32_t fanout,
     uint32_t level) {
+  if (level_tally_.size() <= level) level_tally_.resize(level + 1);
+  SpillLevelStats& lv = level_tally_[level];
+  lv.level = level;
+  lv.partitions_written += fanout;
+  WallTimer level_timer;
   std::vector<std::vector<uint8_t>> bufs(fanout);
   std::vector<SlottedPage> views(fanout);
   std::vector<uint64_t> next_page(fanout, 0);
@@ -248,6 +253,9 @@ Status DiskGraceJoin::PartitionInto(
       } else {
         hash = in.GetHashCode(s);
       }
+      ++lv.tuples;
+      lv.bytes_written += len;
+      ++lv.hist[hash % SpillLevelStats::kHistBins];
       uint32_t p = (level == 0 ? hash : SaltedRehash(hash, level)) % fanout;
       if (views[p].AddTuple(tuple, len, hash) < 0) {
         flush(p);
@@ -259,6 +267,7 @@ Status DiskGraceJoin::PartitionInto(
   for (uint32_t p = 0; p < fanout; ++p) {
     if (views[p].slot_count() > 0) flush(p);
   }
+  lv.partition_seconds += level_timer.ElapsedSeconds();
   return bm_->FlushWrites();
 }
 
@@ -977,6 +986,7 @@ StatusOr<DiskJoinResult> DiskGraceJoin::Join(BufferManager::FileId build,
   EffectiveBudget();
   const IoRecoveryStats io_before = bm_->recovery_stats();
   const DiskJoinRecovery tally_before = tally_;
+  const std::vector<SpillLevelStats> levels_before = level_tally_;
   // One fan-out decision for both relations (pairs must align), made
   // from the build side's observed statistics — StoreRelation sampled
   // its key-hash histogram while writing the input file.
@@ -1023,6 +1033,24 @@ StatusOr<DiskJoinResult> DiskGraceJoin::Join(BufferManager::FileId build,
       tally_.victim_spills - tally_before.victim_spills;
   result.recovery.victim_unspills =
       tally_.victim_unspills - tally_before.victim_unspills;
+  // Per-level split statistics, diffed like the recovery tally so each
+  // Join() reports only its own partitioning work.
+  for (size_t l = 0; l < level_tally_.size(); ++l) {
+    SpillLevelStats diff = level_tally_[l];
+    if (l < levels_before.size()) {
+      const SpillLevelStats& before = levels_before[l];
+      diff.partitions_written -= before.partitions_written;
+      diff.tuples -= before.tuples;
+      diff.bytes_written -= before.bytes_written;
+      diff.partition_seconds -= before.partition_seconds;
+      for (uint32_t b = 0; b < SpillLevelStats::kHistBins; ++b) {
+        diff.hist[b] -= before.hist[b];
+      }
+    }
+    if (diff.tuples != 0 || diff.partitions_written != 0) {
+      result.spill_levels.push_back(diff);
+    }
+  }
   return result;
 }
 

@@ -25,6 +25,46 @@ struct DiskPhaseStats {
   double main_wait_seconds = 0;
 };
 
+/// What one recursion level of the partition pass actually did: the
+/// realized spill cost (tuples and bytes rewritten, wall seconds spent
+/// splitting) plus the key-hash histogram observed while routing. Level
+/// 0 is the initial fan-out pass; level L >= 1 is the L-th recursive
+/// repartition, so a non-empty level 1 means skew or memory pressure
+/// forced re-splitting. Persisted into QueryStats so a scheduler can
+/// negotiate grants for repeat queries from realized costs, and so the
+/// cache's eviction policy can price a rebuild with measured (not just
+/// modeled) numbers.
+struct SpillLevelStats {
+  static constexpr uint32_t kHistBins = 64;
+  uint32_t level = 0;
+  /// Output partition files opened at this level (sum over split passes).
+  uint64_t partitions_written = 0;
+  /// Tuples / payload bytes rewritten at this level — the realized
+  /// spill cost in data volume.
+  uint64_t tuples = 0;
+  uint64_t bytes_written = 0;
+  /// Wall seconds spent inside this level's split passes.
+  double partition_seconds = 0;
+  /// Key-hash histogram (original memoized hash % kHistBins) of every
+  /// tuple routed at this level.
+  std::array<uint64_t, kHistBins> hist{};
+
+  /// Largest bin's share of all routed tuples (1.0 / kHistBins for a
+  /// perfectly uniform input; near 1.0 for a single hot key).
+  double MaxBinFraction() const {
+    uint64_t max_bin = 0;
+    for (uint64_t b : hist) max_bin = b > max_bin ? b : max_bin;
+    return tuples == 0 ? 0.0 : double(max_bin) / double(tuples);
+  }
+
+  /// Bins that received at least one tuple.
+  uint32_t NonzeroBins() const {
+    uint32_t n = 0;
+    for (uint64_t b : hist) n += b != 0 ? 1 : 0;
+    return n;
+  }
+};
+
 /// Configuration of the disk-backed GRACE join's resilience layer.
 struct DiskJoinConfig {
   /// Initial partition fan-out of the I/O partition phase. With
@@ -179,6 +219,10 @@ struct DiskJoinResult {
   uint64_t output_tuples = 0;
   uint32_t num_partitions = 0;
   DiskJoinRecovery recovery;
+  /// Per-recursion-level partitioning statistics of this Join() call
+  /// (diffed from the join's cumulative tally, like `recovery`). Entry
+  /// order is by level; levels with no activity are omitted.
+  std::vector<SpillLevelStats> spill_levels;
 };
 
 /// GRACE hash join over striped page files (§7.2's real-machine setup):
@@ -371,6 +415,9 @@ class DiskGraceJoin {
   uint32_t page_size_;
   std::unordered_map<BufferManager::FileId, FileStats> file_stats_;
   DiskJoinRecovery tally_;  // cumulative skew/recovery tallies
+  /// Cumulative per-level split statistics, indexed by recursion level;
+  /// Join() diffs a snapshot into DiskJoinResult::spill_levels.
+  std::vector<SpillLevelStats> level_tally_;
   /// Largest / smallest non-zero effective budget observed so far; the
   /// deltas against the live value classify spills as revoke-forced and
   /// in-memory builds as un-spilled.

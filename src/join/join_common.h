@@ -151,6 +151,10 @@ struct JoinResult {
   PhaseResult join_phase;  // includes any in-memory re-partition step
   uint64_t output_tuples = 0;
   uint32_t num_partitions = 0;
+  /// The build phase was skipped because a cached hash table was pinned
+  /// (GraceConfig::table_cache hit); partition_phase is empty too — the
+  /// probe ran directly against the cached table.
+  bool cache_hit = false;
   /// Join-phase counters per worker thread (simulated runs with
   /// num_threads > 1 only): each worker's share of the merged stats, for
   /// per-thread stall breakdowns and load-balance analysis.

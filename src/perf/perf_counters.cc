@@ -35,6 +35,7 @@ JsonValue CounterValues::ToJson() const {
   put("llc_misses", llc_misses);
   put("dtlb_misses", dtlb_misses);
   put("branch_misses", branch_misses);
+  put("stalled_cycles", stalled_cycles);
   auto ipc = Ipc();
   o.Set("ipc", ipc.has_value() ? JsonValue(*ipc) : JsonValue());
   o.Set("scaled", scaled);
@@ -124,6 +125,8 @@ PerfCounters::PerfCounters() {
        &CounterValues::dtlb_misses},
       {"branch_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES,
        &CounterValues::branch_misses},
+      {"stalled_cycles", PERF_TYPE_HARDWARE,
+       PERF_COUNT_HW_STALLED_CYCLES_BACKEND, &CounterValues::stalled_cycles},
   };
 
   int first_errno = 0;

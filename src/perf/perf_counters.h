@@ -23,6 +23,7 @@ struct CounterValues {
   std::optional<uint64_t> llc_misses;
   std::optional<uint64_t> dtlb_misses;
   std::optional<uint64_t> branch_misses;
+  std::optional<uint64_t> stalled_cycles;  ///< backend stall cycles
 
   bool scaled = false;
   double running_fraction = 1.0;  // time_running / time_enabled
@@ -42,7 +43,7 @@ struct CounterValues {
 /// counters behind Figures 1 and 9-19).
 ///
 /// Degrades gracefully, in order of preference:
-///  1. all six counters in one group (read atomically, same window);
+///  1. all seven counters in one group (read atomically, same window);
 ///  2. any openable subset (unsupported events are dropped per-event);
 ///  3. nothing at all (perf_event_paranoid >= 3, seccomp'd containers,
 ///     non-Linux): `available()` is false, Start()/Stop() are no-ops and

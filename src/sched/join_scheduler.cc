@@ -14,6 +14,25 @@ JoinScheduler::JoinScheduler(const SchedulerConfig& config)
       pool_(std::max(1u, config.pool_threads)) {
   HJ_CHECK(config_.max_concurrent >= 1);
   HJ_CHECK(config_.max_queue >= 1);
+  if (config_.cache_bytes > 0) {
+    // The cache is an ordinary broker client in the lowest-priority
+    // class: a tiny irrevocable minimum (so the broker always has a
+    // victim ordering, never a blocked admission on the cache's
+    // account) and the full capacity as revocable surplus.
+    cache_ = std::make_unique<cache::HashTableCache>(config_.cache_bytes);
+    const uint64_t cache_min =
+        std::min<uint64_t>(config_.cache_bytes, 64 * 1024);
+    auto grant_or = broker_.Acquire(cache_min, config_.cache_bytes,
+                                    /*timeout_seconds=*/0,
+                                    GrantClass::kCache);
+    HJ_CHECK(grant_or.ok())
+        << "cache grant failed: " << grant_or.status().ToString();
+    cache_grant_ = std::move(grant_or).value();
+    cache_->SetCapacityFn(cache_grant_->BudgetFn());
+    cache::HashTableCache* cache = cache_.get();
+    cache_grant_->SetRevokeListener(
+        [cache](uint64_t new_bytes) { cache->OnRevoke(new_bytes); });
+  }
   runners_.reserve(config_.max_concurrent);
   for (uint32_t i = 0; i < config_.max_concurrent; ++i) {
     runners_.emplace_back([this] { RunnerLoop(); });
@@ -136,7 +155,7 @@ void JoinScheduler::RunOne(Entry entry) {
   uint64_t ServiceStats::* counter = &ServiceStats::completed;
   {
     QueryContext ctx(entry.id, req.name, std::move(grant_or).value(),
-                     &pool_);
+                     &pool_, cache_.get());
     ctx.stats().priority = req.priority;
     ctx.stats().queue_seconds = waited;
 

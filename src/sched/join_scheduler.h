@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/hash_table_cache.h"
 #include "sched/memory_broker.h"
 #include "sched/query_context.h"
 #include "util/mutex.h"
@@ -35,6 +36,12 @@ struct SchedulerConfig {
 
   /// The memory broker's global grant budget, bytes.
   uint64_t memory_budget = 64ull << 20;
+
+  /// Capacity of the cross-query hash-table cache, carved out of the
+  /// broker budget as a lowest-priority revocable grant
+  /// (GrantClass::kCache) — so cached tables shrink before any active
+  /// join is squeezed. 0 disables the cache.
+  uint64_t cache_bytes = 0;
 };
 
 /// One unit of admission: a named, prioritized query body plus its
@@ -105,6 +112,11 @@ class JoinScheduler {
   ThreadPool& pool() { return pool_; }
   const SchedulerConfig& config() const { return config_; }
 
+  /// The cross-query hash-table cache, or nullptr when
+  /// `SchedulerConfig::cache_bytes` is 0. Query bodies reach it through
+  /// their QueryContext.
+  cache::HashTableCache* table_cache() { return cache_.get(); }
+
  private:
   using TimePoint = std::chrono::steady_clock::time_point;
 
@@ -125,6 +137,12 @@ class JoinScheduler {
   SchedulerConfig config_;
   MemoryBroker broker_;
   ThreadPool pool_;
+
+  /// Cache + its broker grant. Declared after broker_ so destruction
+  /// releases the grant (and checks no table is still pinned) before
+  /// the broker asserts that no grants are outstanding.
+  std::unique_ptr<cache::HashTableCache> cache_;
+  std::unique_ptr<MemoryGrant> cache_grant_;
 
   /// Admission state. Lock order: mu_ before stats_mu_ (Submit bumps
   /// the rejected/submitted tallies while holding the queue lock).

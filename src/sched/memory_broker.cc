@@ -61,7 +61,8 @@ uint64_t MemoryBroker::RevocableLocked() const {
 }
 
 StatusOr<std::unique_ptr<MemoryGrant>> MemoryBroker::Acquire(
-    uint64_t min_bytes, uint64_t desired_bytes, double timeout_seconds) {
+    uint64_t min_bytes, uint64_t desired_bytes, double timeout_seconds,
+    GrantClass grant_class) {
   if (min_bytes == 0 || min_bytes > desired_bytes) {
     return Status::InvalidArgument(
         "grant needs 0 < min_bytes <= desired_bytes");
@@ -104,20 +105,52 @@ StatusOr<std::unique_ptr<MemoryGrant>> MemoryBroker::Acquire(
     uint64_t take = std::min(free_, desired_bytes);
     free_ -= take;
 
-    // Cover the rest of `min` by revoking surplus, largest first, so the
-    // fewest queries are disturbed.
+    // Cover the rest of `min` by revoking surplus — kCache grants
+    // first (cached tables are pure optimization; dropping them costs a
+    // rebuild, not a spill), then kNormal, each largest-surplus-first
+    // so the fewest queries are disturbed.
     while (take < min_bytes) {
       MemoryGrant* victim = nullptr;
       uint64_t best_surplus = 0;
       for (MemoryGrant* g : grants_) {
+        if (g->grant_class() != GrantClass::kCache) continue;
         uint64_t surplus = g->bytes() - g->min_bytes();
         if (surplus > best_surplus) {
           best_surplus = surplus;
           victim = g;
         }
       }
+      if (victim == nullptr) {
+        for (MemoryGrant* g : grants_) {
+          if (g->grant_class() != GrantClass::kNormal) continue;
+          uint64_t surplus = g->bytes() - g->min_bytes();
+          if (surplus > best_surplus) {
+            best_surplus = surplus;
+            victim = g;
+          }
+        }
+        if (victim != nullptr) {
+          // Ledger invariant: a kNormal cut with cache surplus left
+          // would mean an active join paid for cache occupancy. The
+          // selection order above makes this unreachable; the counter
+          // is the proof the storm bench gates on.
+          uint64_t cache_surplus = 0;
+          for (const MemoryGrant* g : grants_) {
+            if (g->grant_class() == GrantClass::kCache) {
+              cache_surplus += g->bytes() - g->min_bytes();
+            }
+          }
+          if (cache_surplus > 0) {
+            normal_revokes_with_cache_surplus_.fetch_add(
+                1, std::memory_order_relaxed);
+          }
+        }
+      }
       HJ_CHECK(victim != nullptr) << "admission check promised surplus";
       uint64_t cut = std::min(best_surplus, min_bytes - take);
+      if (victim->grant_class() == GrantClass::kCache) {
+        cache_revoked_bytes_.fetch_add(cut, std::memory_order_relaxed);
+      }
       uint64_t now_bytes = victim->bytes() - cut;
       victim->bytes_.store(now_bytes, std::memory_order_relaxed);
       uint64_t low = victim->low_watermark_.load(std::memory_order_relaxed);
@@ -135,7 +168,8 @@ StatusOr<std::unique_ptr<MemoryGrant>> MemoryBroker::Acquire(
       take += cut;
     }
 
-    grant.reset(new MemoryGrant(this, take, min_bytes, desired_bytes));
+    grant.reset(new MemoryGrant(this, take, min_bytes, desired_bytes,
+                                grant_class));
     grants_.push_back(grant.get());
   }
   for (auto& [fn, new_bytes] : notify) fn(new_bytes);
@@ -153,17 +187,21 @@ void MemoryBroker::ReleaseGrant(MemoryGrant* grant) {
 }
 
 void MemoryBroker::RedistributeLocked() {
-  // Oldest grant first: queries that have waited (and spilled) longest
-  // get their memory back first.
-  for (MemoryGrant* g : grants_) {
-    if (free_ == 0) break;
-    uint64_t want = g->desired_bytes() - g->bytes();
-    if (want == 0) continue;
-    uint64_t give = std::min(free_, want);
-    free_ -= give;
-    g->bytes_.fetch_add(give, std::memory_order_relaxed);
-    g->regrows_.fetch_add(1, std::memory_order_relaxed);
-    total_regrows_.fetch_add(1, std::memory_order_relaxed);
+  // kNormal before kCache (active joins un-spill before the cache
+  // re-inflates); within a class, oldest grant first — queries that
+  // have waited (and spilled) longest get their memory back first.
+  for (GrantClass cls : {GrantClass::kNormal, GrantClass::kCache}) {
+    for (MemoryGrant* g : grants_) {
+      if (free_ == 0) break;
+      if (g->grant_class() != cls) continue;
+      uint64_t want = g->desired_bytes() - g->bytes();
+      if (want == 0) continue;
+      uint64_t give = std::min(free_, want);
+      free_ -= give;
+      g->bytes_.fetch_add(give, std::memory_order_relaxed);
+      g->regrows_.fetch_add(1, std::memory_order_relaxed);
+      total_regrows_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   budget_cv_.NotifyAll();
 }

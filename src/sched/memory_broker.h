@@ -16,6 +16,17 @@ namespace hashjoin {
 
 class MemoryBroker;
 
+/// Revocation priority class of a grant. `kCache` marks memory that is
+/// merely an optimization (the cross-query hash-table cache): when an
+/// admission needs bytes, every kCache grant's surplus is drained before
+/// any kNormal grant is touched, and released bytes re-grow kNormal
+/// grants first — so cached tables are always sacrificed before an
+/// active join is squeezed into its degradation ladder.
+enum class GrantClass {
+  kNormal,
+  kCache,
+};
+
 /// One revocable memory reservation handed out by a MemoryBroker.
 ///
 /// The broker may shrink the grant (down to its admission minimum) at any
@@ -50,6 +61,9 @@ class MemoryGrant {
   /// Admission minimum / ceiling this grant was acquired with.
   uint64_t min_bytes() const { return min_bytes_; }
   uint64_t desired_bytes() const { return desired_bytes_; }
+
+  /// Revocation priority class (see GrantClass).
+  GrantClass grant_class() const { return class_; }
 
   /// Times the broker shrank / re-grew this grant.
   uint64_t revokes() const { return revokes_.load(std::memory_order_relaxed); }
@@ -90,11 +104,12 @@ class MemoryGrant {
  private:
   friend class MemoryBroker;
   MemoryGrant(MemoryBroker* broker, uint64_t bytes, uint64_t min_bytes,
-              uint64_t desired_bytes)
+              uint64_t desired_bytes, GrantClass grant_class)
       : broker_(broker),
         bytes_(bytes),
         min_bytes_(min_bytes),
         desired_bytes_(desired_bytes),
+        class_(grant_class),
         initial_bytes_(bytes),
         low_watermark_(bytes) {}
 
@@ -102,6 +117,7 @@ class MemoryGrant {
   std::atomic<uint64_t> bytes_;
   const uint64_t min_bytes_;
   const uint64_t desired_bytes_;
+  const GrantClass class_;
   const uint64_t initial_bytes_;
   std::atomic<uint64_t> low_watermark_;
   std::atomic<uint64_t> revokes_{0};
@@ -139,10 +155,14 @@ class MemoryBroker {
   /// Errors: kInvalidArgument for min > desired or min == 0;
   /// kResourceExhausted when min_bytes exceeds the total budget (can
   /// never succeed); kDeadlineExceeded when the timeout passed first.
-  StatusOr<std::unique_ptr<MemoryGrant>> Acquire(uint64_t min_bytes,
-                                                 uint64_t desired_bytes,
-                                                 double timeout_seconds = -1)
-      HJ_EXCLUDES(mu_);
+  ///
+  /// `grant_class` sets the revocation priority: kCache grants lose
+  /// their surplus before any kNormal grant is cut and re-grow last
+  /// (see GrantClass).
+  StatusOr<std::unique_ptr<MemoryGrant>> Acquire(
+      uint64_t min_bytes, uint64_t desired_bytes,
+      double timeout_seconds = -1,
+      GrantClass grant_class = GrantClass::kNormal) HJ_EXCLUDES(mu_);
 
   uint64_t total_budget() const { return total_budget_; }
 
@@ -158,6 +178,22 @@ class MemoryBroker {
   }
   uint64_t total_regrows() const {
     return total_regrows_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative bytes revoked from kCache grants — the "bytes the cache
+  /// gave back under pressure" side of the reuse ledger.
+  uint64_t cache_revoked_bytes() const {
+    return cache_revoked_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Times a kNormal grant was cut while some kCache grant still held
+  /// revocable surplus. The class ordering makes this impossible, so a
+  /// non-zero value means an active join was squeezed on the cache's
+  /// account — the invariant `concurrent_bench --revoke-storm` gates on
+  /// staying 0.
+  uint64_t normal_revokes_with_cache_surplus() const {
+    return normal_revokes_with_cache_surplus_.load(
+        std::memory_order_relaxed);
   }
 
  private:
@@ -183,6 +219,8 @@ class MemoryBroker {
   std::vector<MemoryGrant*> grants_ HJ_GUARDED_BY(mu_);
   std::atomic<uint64_t> total_revokes_{0};
   std::atomic<uint64_t> total_regrows_{0};
+  std::atomic<uint64_t> cache_revoked_bytes_{0};
+  std::atomic<uint64_t> normal_revokes_with_cache_surplus_{0};
 };
 
 }  // namespace hashjoin

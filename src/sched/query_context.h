@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/hash_table_cache.h"
 #include "join/grace_disk.h"
 #include "sched/memory_broker.h"
 #include "storage/buffer_manager.h"
@@ -51,6 +52,11 @@ struct QueryStats {
   IoRecoveryStats io;
   /// Scan read-ahead windows clamped by the grant (BufferManager diff).
   uint64_t readahead_throttles = 0;
+  /// Per-level key-hash histograms and realized spill costs from the
+  /// query's DiskGraceJoin runs (one entry per partitioning level that
+  /// actually ran); feeds the cache's rebuild-cost estimates and the
+  /// bench JSON skew summaries.
+  std::vector<SpillLevelStats> spill_levels;
 };
 
 /// Service-level aggregate over one scheduler lifetime.
@@ -80,8 +86,11 @@ struct ServiceStats {
 class QueryContext {
  public:
   QueryContext(uint64_t query_id, std::string name,
-               std::unique_ptr<MemoryGrant> grant, ThreadPool* shared_pool)
-      : grant_(std::move(grant)), executor_(shared_pool) {
+               std::unique_ptr<MemoryGrant> grant, ThreadPool* shared_pool,
+               cache::HashTableCache* table_cache = nullptr)
+      : grant_(std::move(grant)),
+        executor_(shared_pool),
+        table_cache_(table_cache) {
     stats_.query_id = query_id;
     stats_.name = std::move(name);
   }
@@ -116,9 +125,15 @@ class QueryContext {
   /// Mutable while the body runs; the body fills output/recovery fields.
   QueryStats& stats() { return stats_; }
 
+  /// The service's cross-query hash-table cache; nullptr when the
+  /// scheduler runs without one. Wire into `GraceConfig::table_cache`
+  /// (with a CacheKey) to consult it before the build phase.
+  cache::HashTableCache* table_cache() { return table_cache_; }
+
  private:
   std::unique_ptr<MemoryGrant> grant_;
   PoolExecutor executor_;
+  cache::HashTableCache* table_cache_ = nullptr;
   QueryStats stats_;
 };
 

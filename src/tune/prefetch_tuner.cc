@@ -58,6 +58,9 @@ bool PrefetchTuner::OnBatch(const BatchReading& reading) {
   const double miss = reading.l1d_misses >= 0
                           ? reading.l1d_misses / double(reading.tuples)
                           : -1;
+  const double stall = reading.stalled_cycles >= 0
+                           ? reading.stalled_cycles / double(reading.tuples)
+                           : -1;
   TunerSample sample;
   sample.batch = batch_;
   sample.depth = depth_;
@@ -65,6 +68,7 @@ bool PrefetchTuner::OnBatch(const BatchReading& reading) {
   sample.prefetch_distance = prefetch_distance();
   sample.cycles_per_tuple = cost;
   sample.misses_per_tuple = miss;
+  sample.stalls_per_tuple = stall;
   trajectory_.push_back(sample);
 
   const bool cost_regressed =
@@ -72,7 +76,10 @@ bool PrefetchTuner::OnBatch(const BatchReading& reading) {
   const bool miss_regressed =
       miss >= 0 && best_miss_ >= 0 &&
       miss > best_miss_ * (1.0 + config_.miss_tolerance);
-  const bool regressed = cost_regressed || miss_regressed;
+  const bool stall_regressed =
+      stall >= 0 && best_stall_ >= 0 &&
+      stall > best_stall_ * (1.0 + config_.stall_tolerance);
+  const bool regressed = cost_regressed || miss_regressed || stall_regressed;
 
   bool changed = false;
   switch (state_) {
@@ -82,6 +89,7 @@ bool PrefetchTuner::OnBatch(const BatchReading& reading) {
         // Last warmup reading becomes the ramp baseline.
         best_cost_ = cost;
         best_miss_ = miss;
+        best_stall_ = stall;
         best_depth_ = depth_;
         state_ = State::kRamp;
         if (depth_ < DepthCap()) {
@@ -114,6 +122,9 @@ bool PrefetchTuner::OnBatch(const BatchReading& reading) {
       if (miss >= 0 && (best_miss_ < 0 || miss < best_miss_)) {
         best_miss_ = miss;
       }
+      if (stall >= 0 && (best_stall_ < 0 || stall < best_stall_)) {
+        best_stall_ = stall;
+      }
       if (depth_ < DepthCap()) {
         changed = SetDepth(NextRampDepth(depth_));
       } else {
@@ -130,7 +141,7 @@ bool PrefetchTuner::OnBatch(const BatchReading& reading) {
       const bool drifted =
           (best_cost_ >= 0 &&
            cost > best_cost_ * (1.0 + config_.drift_tolerance)) ||
-          miss_regressed;
+          miss_regressed || stall_regressed;
       if (drifted) {
         ++converged_regressions_;
         if (converged_regressions_ >= config_.converged_patience) {
@@ -141,6 +152,7 @@ bool PrefetchTuner::OnBatch(const BatchReading& reading) {
           converged_regressions_ = 0;
           best_cost_ = -1;
           best_miss_ = -1;
+          best_stall_ = -1;
           best_depth_ = depth_;
           ramp_retried_ = false;
           state_ = State::kRamp;
@@ -150,6 +162,10 @@ bool PrefetchTuner::OnBatch(const BatchReading& reading) {
         best_cost_ = best_cost_ < 0 ? cost : 0.9 * best_cost_ + 0.1 * cost;
         if (miss >= 0) {
           best_miss_ = best_miss_ < 0 ? miss : 0.9 * best_miss_ + 0.1 * miss;
+        }
+        if (stall >= 0) {
+          best_stall_ =
+              best_stall_ < 0 ? stall : 0.9 * best_stall_ + 0.1 * stall;
         }
       }
       break;

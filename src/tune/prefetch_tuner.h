@@ -26,6 +26,12 @@ struct TunerConfig {
   /// tuple rising while cycles hold is the early symptom of prefetched
   /// lines being evicted before use (§4.2's conflict-miss argument).
   double miss_tolerance = 0.25;
+  /// Backend-stalled-cycles-per-tuple growth tolerated before backing
+  /// off. Stall cycles rising while total cycles hold means the extra
+  /// prefetch depth is saturating the memory subsystem (LFB contention)
+  /// without yet showing up in end-to-end cost — the same early-warning
+  /// role as `miss_tolerance`, from the other side of the cache.
+  double stall_tolerance = 0.25;
   /// Cost growth relative to the converged baseline treated as workload
   /// drift rather than batch noise. Deliberately much wider than
   /// `cost_tolerance`: after convergence the baseline is held for the
@@ -43,7 +49,8 @@ struct TunerConfig {
 struct BatchReading {
   uint64_t tuples = 0;
   double cycles = 0;
-  double l1d_misses = -1;  // < 0: counter unavailable this batch
+  double l1d_misses = -1;      // < 0: counter unavailable this batch
+  double stalled_cycles = -1;  // < 0: counter unavailable this batch
 };
 
 /// One trajectory entry: what the tuner held while a batch ran and what
@@ -56,6 +63,7 @@ struct TunerSample {
   uint32_t prefetch_distance = 0;
   double cycles_per_tuple = 0;
   double misses_per_tuple = -1;  // < 0: unavailable
+  double stalls_per_tuple = -1;  // < 0: unavailable
 };
 
 /// Online feedback controller for prefetch depth, in the style of SMOL's
@@ -109,6 +117,7 @@ class PrefetchTuner {
   uint32_t best_depth_ = 1;
   double best_cost_ = -1;   // < 0: no baseline yet
   double best_miss_ = -1;   // < 0: no miss baseline
+  double best_stall_ = -1;  // < 0: no stall baseline
   bool ramp_retried_ = false;  // current depth already got its retry batch
   uint32_t converged_regressions_ = 0;
   std::vector<TunerSample> trajectory_;

@@ -65,8 +65,13 @@ ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
   HJ_CHECK(n > 0);
   zetan_ = Zeta(n, theta);
   double zeta2 = Zeta(2, theta);
-  alpha_ = 1.0 / (1.0 - theta);
-  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+  // The Gray et al. closed form divides by (1 - theta); at theta == 1 it
+  // degenerates (alpha -> inf, eta -> 0/0). Evaluating it a hair below 1
+  // takes the formula's continuous limit instead — the zeta terms above
+  // still use the exact theta.
+  double t = std::min(theta, 1.0 - 1e-7);
+  alpha_ = 1.0 / (1.0 - t);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - t)) /
          (1.0 - zeta2 / zetan_);
 }
 
@@ -76,8 +81,11 @@ uint64_t ZipfGenerator::Next() {
   double uz = u * zetan_;
   if (uz < 1.0) return 0;
   if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
-  return static_cast<uint64_t>(
+  uint64_t v = static_cast<uint64_t>(
       double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  // u -> 1 rounds the power term to exactly 1.0 and would return n,
+  // outside the documented [0, n).
+  return std::min(v, n_ - 1);
 }
 
 }  // namespace hashjoin

@@ -1,0 +1,68 @@
+#include "workload/replay.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace hashjoin {
+
+std::vector<ReplayOp> GenerateReplayTrace(const ReplaySpec& spec) {
+  HJ_CHECK(spec.num_tables > 0) << "replay needs at least one table";
+  // Separate streams for table choice and the update draw so changing
+  // update_rate does not reshuffle which tables the queries hit.
+  ZipfGenerator popularity(spec.num_tables, spec.zipf_theta, spec.seed);
+  Rng update_rng(spec.seed + 0x9e3779b97f4a7c15ull);
+  std::vector<ReplayOp> trace;
+  trace.reserve(spec.num_queries);
+  for (uint32_t q = 0; q < spec.num_queries; ++q) {
+    ReplayOp op;
+    op.table = static_cast<uint32_t>(popularity.Next());
+    op.is_update = spec.update_rate > 0 &&
+                   update_rng.NextBool(spec.update_rate);
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+ReplayCatalog::ReplayCatalog(const ReplaySpec& spec) : spec_(spec) {
+  HJ_CHECK(spec_.num_tables > 0) << "replay needs at least one table";
+  tables_.resize(spec_.num_tables);
+  for (uint32_t t = 0; t < spec_.num_tables; ++t) {
+    Table& table = tables_[t];
+    // Ids start at 1: 0 reads as "no relation" in cache keys and logs.
+    table.id = t + 1;
+    table.version = 1;
+    table.seed = spec_.seed * 1000003ull + t;
+    Regenerate(&table);
+  }
+}
+
+void ReplayCatalog::Regenerate(Table* table) {
+  WorkloadSpec wspec;
+  wspec.tuple_size = spec_.tuple_size;
+  wspec.num_build_tuples = spec_.build_tuples_per_table;
+  // Size the probe side directly: every probe tuple matches, and
+  // matches_per_build scales probe count relative to build count.
+  wspec.build_match_fraction = 1.0;
+  wspec.probe_match_fraction = 1.0;
+  wspec.matches_per_build = spec_.build_tuples_per_table > 0
+                                ? double(spec_.probe_tuples_per_query) /
+                                      double(spec_.build_tuples_per_table)
+                                : 1.0;
+  wspec.seed = table->seed + table->version * 0x100000001b3ull;
+  JoinWorkload w = GenerateJoinWorkload(wspec);
+  table->build = std::make_shared<const Relation>(std::move(w.build));
+  table->probe = std::make_shared<const Relation>(std::move(w.probe));
+  table->expected_matches = w.expected_matches;
+}
+
+void ReplayCatalog::Update(uint32_t t) {
+  HJ_CHECK(t < tables_.size()) << "table index out of range";
+  Table& table = tables_[t];
+  ++table.version;
+  ++total_updates_;
+  Regenerate(&table);
+}
+
+}  // namespace hashjoin

@@ -1,0 +1,114 @@
+#ifndef HASHJOIN_WORKLOAD_REPLAY_H_
+#define HASHJOIN_WORKLOAD_REPLAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/relation.h"
+#include "workload/generator.h"
+
+namespace hashjoin {
+
+/// Parameters of a cross-query replay trace: a catalog of join tables
+/// whose popularity follows a Zipf distribution (table 0 hottest), a
+/// stream of probe queries against them, and a configurable rate of
+/// updates that bump a table's version — invalidating any cached hash
+/// table built from the previous version. This is the service-level
+/// workload the hash-table reuse cache is designed for: hot tables are
+/// rebuilt once and probed many times, cold tables churn through the
+/// cache, and updates bound how stale a cached build may be.
+struct ReplaySpec {
+  uint32_t num_tables = 16;
+  uint64_t build_tuples_per_table = 20000;
+  /// Probe tuples issued by each query (one query = one probe relation
+  /// joined against its table's current build relation).
+  uint64_t probe_tuples_per_query = 4000;
+  uint32_t tuple_size = 64;  // bytes, both sides, incl. the 4-byte key
+  /// Zipf skew of table popularity; 0 = uniform, 1.0 = the classic
+  /// heavy-hitter curve where reuse pays most.
+  double zipf_theta = 1.0;
+  /// Probability that a query is preceded by an update to its table
+  /// (version bump + cache invalidation). 0 = read-only replay.
+  double update_rate = 0.0;
+  uint32_t num_queries = 200;
+  uint64_t seed = 42;
+};
+
+/// One step of the replay trace: run a probe query against `table`,
+/// after first applying an update to it when `is_update` is set.
+struct ReplayOp {
+  uint32_t table = 0;
+  bool is_update = false;
+};
+
+/// Deterministically generates the trace (same spec -> same trace):
+/// table choice by Zipf popularity, updates by a Bernoulli draw.
+std::vector<ReplayOp> GenerateReplayTrace(const ReplaySpec& spec);
+
+/// The versioned table catalog a replay runs against. Each table owns a
+/// build relation plus a matching probe relation (with the exact match
+/// count a correct join must produce); Update() regenerates the build
+/// side under a new seed and bumps the version, so cache keys formed
+/// from (relation_id(), version(), fingerprint) naturally miss after an
+/// update. Single-threaded: the replay driver owns it.
+class ReplayCatalog {
+ public:
+  explicit ReplayCatalog(const ReplaySpec& spec);
+
+  uint32_t num_tables() const {
+    return static_cast<uint32_t>(tables_.size());
+  }
+
+  /// Stable catalog-wide relation id of table `t` (never reused).
+  uint64_t relation_id(uint32_t t) const { return tables_[t].id; }
+
+  /// Current version of table `t`; bumped by Update().
+  uint64_t version(uint32_t t) const { return tables_[t].version; }
+
+  /// Current build side of table `t`. The returned pointer stays valid
+  /// across Update() for anyone who copied the shared_ptr (a cached
+  /// hash table keeps the version it was built from alive).
+  const std::shared_ptr<const Relation>& build(uint32_t t) const {
+    return tables_[t].build;
+  }
+
+  /// The probe relation queries against table `t` use, and the exact
+  /// join output count it must produce against the current build side.
+  /// Shared ownership for the same reason as build(): a query admitted
+  /// before an Update() finishes against the inputs it captured.
+  const std::shared_ptr<const Relation>& probe(uint32_t t) const {
+    return tables_[t].probe;
+  }
+  uint64_t expected_matches(uint32_t t) const {
+    return tables_[t].expected_matches;
+  }
+
+  /// Applies an update to table `t`: regenerates the build side (same
+  /// shape, different seed — key set and payloads change), regenerates
+  /// the matching probe side, and bumps the version. The caller is
+  /// responsible for invalidating any cache keyed on the old version.
+  void Update(uint32_t t);
+
+  uint64_t total_updates() const { return total_updates_; }
+
+ private:
+  struct Table {
+    uint64_t id = 0;
+    uint64_t version = 0;
+    uint64_t seed = 0;
+    std::shared_ptr<const Relation> build;
+    std::shared_ptr<const Relation> probe;
+    uint64_t expected_matches = 0;
+  };
+
+  void Regenerate(Table* table);
+
+  ReplaySpec spec_;
+  std::vector<Table> tables_;
+  uint64_t total_updates_ = 0;
+};
+
+}  // namespace hashjoin
+
+#endif  // HASHJOIN_WORKLOAD_REPLAY_H_

@@ -310,6 +310,77 @@ TEST(HjlintRecoveryLedgerTest, IgnoresFilesOutsideSrc) {
   EXPECT_TRUE(fs.empty());
 }
 
+// --- cache-pin-discipline --------------------------------------------
+
+TEST(HjlintCachePinTest, FlagsPinWithoutUnpin) {
+  // The leaked pin: the entry can never be evicted, so a broker revoke
+  // shrinks the grant on paper while the bytes stay resident.
+  auto fs = Lint("src/join/bad.cc",
+                "void Probe(cache::HashTableCache* c, const CacheKey& k) {\n"
+                "  const CachedTable* e = c->Pin(k);\n"
+                "  if (e != nullptr) RunProbe(*e->table);\n"
+                "}\n");
+  ASSERT_TRUE(HasRule(fs, "cache-pin-discipline"));
+  EXPECT_EQ(fs[0].line, 2u);
+}
+
+TEST(HjlintCachePinTest, FlagsSecondPinWhenOnlyOneUnpin) {
+  // Two pins, one release: matching is one-to-one, the second Pin is
+  // the leak and carries the finding.
+  auto fs = Lint("src/join/bad.cc",
+                "void F(cache::HashTableCache* c, CacheKey a, CacheKey b) {\n"
+                "  const CachedTable* ea = c->Pin(a);\n"
+                "  const CachedTable* eb = c->Pin(b);\n"
+                "  c->Unpin(ea);\n"
+                "}\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "cache-pin-discipline");
+  EXPECT_EQ(fs[0].line, 3u);
+}
+
+TEST(HjlintCachePinTest, AcceptsBalancedPinUnpin) {
+  auto fs = Lint("src/join/good.cc",
+                "void Probe(cache::HashTableCache* c, const CacheKey& k) {\n"
+                "  const CachedTable* e = c->Pin(k);\n"
+                "  if (e != nullptr) {\n"
+                "    RunProbe(*e->table);\n"
+                "    c->Unpin(e);\n"
+                "  }\n"
+                "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(HjlintCachePinTest, AcceptsRaiiGuardAndAcquire) {
+  // The project idiom: Acquire() returns the PinnedTable guard, and a
+  // raw Pin adopted by a guard on the same line is guard-managed.
+  auto fs = Lint("src/join/good.cc",
+                "void Probe(cache::HashTableCache* c, const CacheKey& k) {\n"
+                "  cache::PinnedTable pin = c->Acquire(k);\n"
+                "  if (pin) RunProbe(pin.table());\n"
+                "}\n"
+                "void Adopt(cache::HashTableCache* c, const CacheKey& k) {\n"
+                "  cache::PinnedTable pin(c, c->Pin(k));\n"
+                "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(HjlintCachePinTest, IgnoresDeclarationsAndExemptsTheCacheItself) {
+  // `const CachedTable* Pin(` is a declaration, not a call; and the
+  // defining files hold one side of the pair each by design.
+  auto fs = Lint("src/join/good.h",
+                "class Facade {\n"
+                "  const CachedTable* Pin(const CacheKey& key);\n"
+                "  void Unpin(const CachedTable* entry);\n"
+                "};\n");
+  EXPECT_TRUE(fs.empty());
+  auto exempt = Lint("src/cache/hash_table_cache.cc",
+                    "PinnedTable HashTableCache::Acquire(const CacheKey& k) "
+                    "{\n"
+                    "  return PinnedTable(this, Pin(k));\n"
+                    "}\n");
+  EXPECT_TRUE(exempt.empty());
+}
+
 // --- bench-schema-sync -----------------------------------------------
 
 TEST(HjlintBenchSchemaTest, FlagsKeyTheReporterNeverEmits) {

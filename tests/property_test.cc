@@ -133,9 +133,13 @@ TEST_P(SimInvariantTest, BucketsPartitionTimeAndAccessesClassified) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SimInvariantTest, ::testing::Range(0, 25));
 
 TEST(SimDeterminismTest, IdenticalTracesIdenticalStats) {
-  auto run = [] {
+  // One buffer shared by both runs: the trace's addresses are part of
+  // the trace. A per-run allocation can land at a different heap
+  // offset, changing the set-conflict pattern — that would compare two
+  // different traces and test the allocator, not the simulator.
+  auto buf = MakeAlignedBuffer<uint8_t>(1 << 14);
+  auto run = [&buf] {
     sim::MemorySim sim{sim::SimConfig{}};
-    auto buf = MakeAlignedBuffer<uint8_t>(1 << 14);
     Rng rng(99);
     for (int i = 0; i < 2000; ++i) {
       sim.Busy(3);

@@ -91,6 +91,35 @@ bool CheckRecord(const JsonValue& rec, size_t index,
       return err("\"tuning.mode\" must be a non-empty string");
     }
   }
+  // Cache records: the service bench's broker ledger and the reuse
+  // bench's cache block. Both flavors promise the revocation
+  // attribution pair (how many bytes came out of the cache class, and
+  // the zero-invariant counter of normal grants squeezed while cache
+  // surplus remained); the reuse flavor additionally promises the hit
+  // accounting that the reuse acceptance gate reads.
+  const JsonValue* cache = rec.Find("cache");
+  if (cache != nullptr) {
+    if (!cache->is_object()) return err("\"cache\" must be an object");
+    const JsonValue* broker_revoked = cache->Find("broker_revoked_bytes");
+    const JsonValue* misordered =
+        cache->Find("normal_revokes_with_cache_surplus");
+    if (broker_revoked == nullptr || !broker_revoked->is_number() ||
+        misordered == nullptr || !misordered->is_number()) {
+      return err("\"cache\" without numeric \"broker_revoked_bytes\"/"
+                 "\"normal_revokes_with_cache_surplus\"");
+    }
+    const JsonValue* hit_rate = cache->Find("hit_rate");
+    if (hit_rate != nullptr) {
+      const JsonValue* lookups = cache->Find("lookups");
+      const JsonValue* revoked = cache->Find("revoked_bytes");
+      if (!hit_rate->is_number() || lookups == nullptr ||
+          !lookups->is_number() || revoked == nullptr ||
+          !revoked->is_number()) {
+        return err("\"cache.hit_rate\" without the numeric hit accounting "
+                   "(\"lookups\", \"revoked_bytes\")");
+      }
+    }
+  }
   // Online-tuner records: the trajectory (one entry per batch) and the
   // final depths are the whole point of the record — require them.
   const JsonValue* tuner = rec.Find("tuner");

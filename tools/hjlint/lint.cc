@@ -652,6 +652,73 @@ void CheckRecoveryLedgerRule(const std::string& path,
 }
 
 // ---------------------------------------------------------------------
+// Rule: cache-pin-discipline
+//
+// HashTableCache::Pin() hands back an entry with one pin held; the
+// caller owns releasing it. A leaked pin is worse than a leaked byte:
+// the pinned entry can never be evicted, so a broker revoke shrinks the
+// cache's grant on paper while the memory stays resident — the
+// revocation protocol's whole promise breaks. The project idiom is the
+// RAII guard (Acquire() returning PinnedTable), so join code normally
+// never spells Pin at all. This rule balances raw Pin() call sites
+// against Unpin() calls within each function segment: each Pin claims
+// one Unpin, and unclaimed Pins are flagged. A Pin adopted by a
+// PinnedTable constructed on the same line is guard-managed and exempt.
+// The cache's own files are exempt wholesale — the guard and the
+// accessors there legitimately hold one side of the pair each.
+// ---------------------------------------------------------------------
+
+bool CachePinExemptFile(const std::string& path) {
+  return path.find("cache/hash_table_cache") != std::string::npos;
+}
+
+void CheckCachePinRule(const std::string& path,
+                       const std::vector<std::string>& code_lines,
+                       std::vector<Finding>* findings) {
+  if (CachePinExemptFile(path)) return;
+  size_t seg_begin = 0;
+  while (seg_begin < code_lines.size()) {
+    size_t seg_end = SegmentEnd(code_lines, seg_begin);
+
+    std::vector<size_t> pin_sites;
+    size_t unpin_count = 0;
+    for (size_t i = seg_begin; i < seg_end; ++i) {
+      const std::string& line = code_lines[i];
+      for (size_t p = FindWord(line, "Pin"); p != std::string::npos;
+           p = FindWord(line, "Pin", p + 1)) {
+        if (!IsLedgerCallSite(line, p, 3)) continue;
+        // `const CachedTable* Pin(` — a declaration, not a call.
+        if (p > 0) {
+          size_t before = line.find_last_not_of(" \t", p - 1);
+          if (before != std::string::npos &&
+              (line[before] == '*' || line[before] == '&')) {
+            continue;
+          }
+        }
+        // A PinnedTable on the same line adopts the pin (RAII guard).
+        if (FindWord(line, "PinnedTable") != std::string::npos) continue;
+        pin_sites.push_back(i);
+      }
+      size_t u = FindWord(line, "Unpin");
+      if (u != std::string::npos && IsLedgerCallSite(line, u, 5)) {
+        ++unpin_count;
+      }
+    }
+
+    // Each Pin (source order) claims one Unpin; leftovers are leaks.
+    for (size_t k = unpin_count; k < pin_sites.size(); ++k) {
+      findings->push_back(
+          {"cache-pin-discipline", path, uint32_t(pin_sites[k] + 1),
+           "raw Pin() with no matching Unpin() in this scope — the pin "
+           "leaks, the entry becomes unevictable, and cache revocation "
+           "can never reclaim it; hold the pin in a PinnedTable "
+           "(Acquire()) instead"});
+    }
+    seg_begin = seg_end + 1;
+  }
+}
+
+// ---------------------------------------------------------------------
 // Rule: tuned-depth-handoff
 //
 // Kernels read G and D through the policy/tuner handoff
@@ -815,6 +882,9 @@ std::vector<Finding> LintFile(const std::string& path,
   if (RuleEnabled(rules, "tuned-depth-handoff")) {
     CheckTunedDepthRule(path, code_lines, &findings);
   }
+  if (RuleEnabled(rules, "cache-pin-discipline")) {
+    CheckCachePinRule(path, code_lines, &findings);
+  }
   return findings;
 }
 
@@ -914,7 +984,7 @@ const std::vector<std::string>& AllRules() {
       "spp-ring-power-of-two", "prefetch-stage-discipline",
       "dropped-status", "raw-mutex-primitive",
       "recovery-ledger-discipline", "tuned-depth-handoff",
-      "bench-schema-sync"};
+      "cache-pin-discipline", "bench-schema-sync"};
   return kRules;
 }
 

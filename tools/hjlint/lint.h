@@ -48,6 +48,13 @@ struct Finding {
 ///    pair one-to-one with a RecordDegrade(...) call within +/-3 lines,
 ///    so the DiskJoinRecovery ledger explains every degradation and
 ///    never counts one that did not happen.
+///  - cache-pin-discipline: every raw HashTableCache::Pin() call site
+///    must balance with an Unpin() in the same function segment (or be
+///    adopted by a PinnedTable guard on the same line). A leaked pin
+///    blocks eviction and revocation forever — the broker shrinks the
+///    cache's grant but the bytes never come back. The defining files
+///    (cache/hash_table_cache.*) are exempt; everyone else should be
+///    using Acquire().
 std::vector<Finding> LintFile(const std::string& path,
                               const std::string& contents,
                               const std::vector<std::string>& rules);
