@@ -43,15 +43,21 @@ HashTableCache::~HashTableCache() {
   }
 }
 
-uint64_t HashTableCache::CapacityLocked() const {
-  if (capacity_fn_) return capacity_fn_();
-  return static_capacity_;
+uint64_t HashTableCache::LiveCapacity() const {
+  // Snapshot the closure under mu_, invoke the copy outside: the
+  // closure belongs to a broker grant and may take broker/grant locks,
+  // so calling it under mu_ would nest foreign mutexes inside ours
+  // (hjlint: callback-under-lock).
+  std::function<uint64_t()> fn;
+  {
+    MutexLock lock(mu_);
+    if (!capacity_fn_) return static_capacity_;
+    fn = capacity_fn_;
+  }
+  return fn();
 }
 
-uint64_t HashTableCache::capacity_bytes() const {
-  MutexLock lock(mu_);
-  return CapacityLocked();
-}
+uint64_t HashTableCache::capacity_bytes() const { return LiveCapacity(); }
 
 PinnedTable HashTableCache::Acquire(const CacheKey& key) {
   return PinnedTable(this, Pin(key));
@@ -77,6 +83,7 @@ const CachedTable* HashTableCache::Pin(const CacheKey& key) {
 }
 
 void HashTableCache::Unpin(const CachedTable* entry) {
+  const uint64_t cap = LiveCapacity();
   MutexLock lock(mu_);
   HJ_CHECK(entry != nullptr) << "Unpin(nullptr)";
   auto it = entries_.find(entry->key);
@@ -89,8 +96,7 @@ void HashTableCache::Unpin(const CachedTable* entry) {
     EraseLocked(e->key);
   }
   // A revoke that could not fully apply (entries were pinned) finishes
-  // here, as soon as pins drain.
-  uint64_t cap = CapacityLocked();
+  // here, as soon as pins drain. `cap` was sampled before taking mu_.
   if (charged_bytes_ > cap) {
     ShrinkLocked(cap, revoke_shrink_pending_);
   } else {
@@ -109,8 +115,8 @@ bool HashTableCache::Offer(const CacheKey& key,
   if (rebuild_cycles <= 0) {
     rebuild_cycles = EstimateRebuildCycles(table->num_tuples());
   }
+  const uint64_t cap = LiveCapacity();
   MutexLock lock(mu_);
-  const uint64_t cap = CapacityLocked();
   if (bytes > cap || entries_.count(key) != 0) {
     ++stats_.rejected_inserts;
     return false;
@@ -156,22 +162,26 @@ uint64_t HashTableCache::Invalidate(uint64_t relation_id) {
 }
 
 void HashTableCache::SetCapacityFn(std::function<uint64_t()> fn) {
+  // Sample the incoming closure before locking — never invoke a
+  // caller-supplied closure under mu_.
+  uint64_t cap = 0;
+  const bool have_fn = bool(fn);
+  if (have_fn) cap = fn();
   MutexLock lock(mu_);
   capacity_fn_ = std::move(fn);
-  if (capacity_fn_) ShrinkLocked(capacity_fn_(), /*from_revoke=*/false);
+  if (have_fn) ShrinkLocked(cap, /*from_revoke=*/false);
 }
 
 void HashTableCache::OnRevoke(uint64_t new_capacity_bytes) {
+  const uint64_t live = LiveCapacity();
   MutexLock lock(mu_);
   // The grant's own bytes() already reflects the cut; remember the
   // smallest value seen in case notifications race out of order. With
   // no live closure the shrunken budget must persist in the static
   // capacity, or the deferred shrink at Unpin sees the old value and
   // pinned entries survive the revoke forever.
-  uint64_t cap = new_capacity_bytes;
-  if (capacity_fn_) {
-    cap = std::min(cap, capacity_fn_());
-  } else {
+  uint64_t cap = std::min(new_capacity_bytes, live);
+  if (!capacity_fn_) {
     static_capacity_ = std::min(static_capacity_, new_capacity_bytes);
   }
   ShrinkLocked(cap, /*from_revoke=*/true);

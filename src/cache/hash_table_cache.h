@@ -221,7 +221,11 @@ class HashTableCache {
   /// pinned).
   void ShrinkLocked(uint64_t capacity, bool from_revoke) HJ_REQUIRES(mu_);
 
-  uint64_t CapacityLocked() const HJ_REQUIRES(mu_);
+  /// Current capacity: samples the live closure (outside mu_ — the
+  /// closure is a broker grant's and may take other locks) or the
+  /// static budget. Callers re-lock afterwards and treat the value as a
+  /// bound, not a still-true fact.
+  uint64_t LiveCapacity() const HJ_EXCLUDES(mu_);
 
   void EraseLocked(const CacheKey& key) HJ_REQUIRES(mu_);
 

@@ -61,9 +61,10 @@ inline void BuildEnsureCapacity(BuildContext<MM>& ctx, BucketHeader* b) {
   if (old != nullptr && in_array > 0) {
     mm.Read(old, size_t(in_array) * sizeof(HashCell));
     mm.Write(b->array, size_t(in_array) * sizeof(HashCell));
-    mm.Busy(cfg.cost_tuple_copy_per_line *
-            ((in_array * uint32_t(sizeof(HashCell)) + kCacheLineSize - 1) /
-             kCacheLineSize));
+    mm.Busy(uint32_t(
+        cfg.cost_tuple_copy_per_line *
+        ((in_array * uint32_t(sizeof(HashCell)) + kCacheLineSize - 1) /
+         kCacheLineSize)));
   }
   mm.Busy(cfg.cost_slot_bookkeeping);
 }

@@ -35,8 +35,9 @@ struct alignas(kCacheLineSize) PartitionSink {
 
   /// Space left for one `length`-byte tuple plus its slot entry.
   bool HasRoom(uint16_t length, uint32_t page_size) const {
-    uint32_t used = free_offset +
-                    (uint32_t(slot_count) + 1) * sizeof(SlottedPage::Slot);
+    uint32_t used =
+        free_offset +
+        (uint32_t(slot_count) + 1) * uint32_t(sizeof(SlottedPage::Slot));
     return used + length <= page_size;
   }
 };
@@ -231,8 +232,8 @@ inline void PartitionStage2(PartitionContext<MM>& ctx, PartitionState& st) {
   mm.Read(st.tuple, st.length);
   mm.Write(st.dst, st.length);
   mm.Write(st.slot, sizeof(SlottedPage::Slot));
-  mm.Busy(cfg.cost_tuple_copy_per_line *
-          ((st.length + kCacheLineSize - 1) / kCacheLineSize));
+  mm.Busy(uint32_t(cfg.cost_tuple_copy_per_line *
+                   ((st.length + kCacheLineSize - 1) / kCacheLineSize)));
   --st.sink->pending;
   st.copy_pending = false;
 }

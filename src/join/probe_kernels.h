@@ -131,8 +131,8 @@ inline uint64_t ProbeCompareAndEmit(ProbeContext<MM>& ctx,
   std::memcpy(dst + ctx.build_tuple_size, probe_tuple,
               ctx.probe_tuple_size);
   mm.Write(dst, out_size);
-  mm.Busy(cfg.cost_tuple_copy_per_line *
-          ((out_size + kCacheLineSize - 1) / kCacheLineSize));
+  mm.Busy(uint32_t(cfg.cost_tuple_copy_per_line *
+                   ((out_size + kCacheLineSize - 1) / kCacheLineSize)));
   ++ctx.output_count;
   return 1;
 }

@@ -8,6 +8,8 @@
 #include <set>
 #include <sstream>
 
+#include "hjlint/facts.h"
+
 namespace hashjoin {
 namespace hjlint {
 namespace {
@@ -18,113 +20,16 @@ namespace {
 // blanked out (replaced by spaces, so line/column positions survive).
 // That is enough for the project-invariant rules here and keeps the
 // tool dependency-free; anything needing real semantics belongs in the
-// compiler (thread-safety analysis) instead.
+// compiler (thread-safety analysis) instead. The primitives live in
+// hjlint/facts.cc (namespace lex) so the per-file rules here and the
+// whole-program facts engine share one implementation.
 // ---------------------------------------------------------------------
 
-std::string BlankCommentsAndStrings(const std::string& src) {
-  std::string out = src;
-  enum class S { kCode, kLineComment, kBlockComment, kString, kChar };
-  S s = S::kCode;
-  for (size_t i = 0; i < out.size(); ++i) {
-    char c = out[i];
-    char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (s) {
-      case S::kCode:
-        if (c == '/' && next == '/') {
-          s = S::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          s = S::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          s = S::kString;
-        } else if (c == '\'') {
-          s = S::kChar;
-        }
-        break;
-      case S::kLineComment:
-        if (c == '\n') {
-          s = S::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case S::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          s = S::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case S::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          s = S::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case S::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          s = S::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) lines.push_back(cur);
-  return lines;
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::string Strip(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  size_t e = s.find_last_not_of(" \t");
-  return s.substr(b, e - b + 1);
-}
-
-/// Position of identifier `word` in `line` at or after `from`, with
-/// word boundaries on both sides; npos when absent.
-size_t FindWord(const std::string& line, const std::string& word,
-                size_t from = 0) {
-  for (size_t p = line.find(word, from); p != std::string::npos;
-       p = line.find(word, p + 1)) {
-    bool left_ok = p == 0 || !IsIdentChar(line[p - 1]);
-    bool right_ok =
-        p + word.size() >= line.size() || !IsIdentChar(line[p + word.size()]);
-    if (left_ok && right_ok) return p;
-  }
-  return std::string::npos;
-}
+using lex::BlankCommentsAndStrings;
+using lex::FindWord;
+using lex::IsIdentChar;
+using lex::SplitLines;
+using lex::Strip;
 
 bool RuleEnabled(const std::vector<std::string>& rules,
                  const std::string& id) {
@@ -903,6 +808,24 @@ StatusOr<std::string> ReadFileContents(const std::string& path) {
   return ss.str();
 }
 
+/// Display path for findings: repo-root-relative when the file lives
+/// under `root`, so --json output and baselines are stable across
+/// checkouts and CI machines. Falls back to the path as given.
+std::string DisplayPath(const std::string& path, const std::string& root) {
+  if (root.empty()) return path;
+  std::error_code ec;
+  std::filesystem::path abs =
+      std::filesystem::weakly_canonical(path, ec);
+  if (ec) return path;
+  std::filesystem::path abs_root =
+      std::filesystem::weakly_canonical(root, ec);
+  if (ec) return path;
+  std::filesystem::path rel = abs.lexically_relative(abs_root);
+  std::string s = rel.generic_string();
+  if (s.empty() || s == "." || s.rfind("..", 0) == 0) return path;
+  return s;
+}
+
 }  // namespace
 
 std::vector<Finding> LintTree(const std::vector<std::string>& paths,
@@ -925,21 +848,65 @@ std::vector<Finding> LintTree(const std::vector<std::string>& paths,
     }
   }
   std::sort(files.begin(), files.end());
+
+  const bool want_facts = RuleEnabled(rules, "lock-order-cycle") ||
+                          RuleEnabled(rules, "callback-under-lock") ||
+                          RuleEnabled(rules, "atomic-handoff-discipline");
+  std::vector<std::pair<std::string, std::string>> sources;  // path, text
+
   for (const std::string& f : files) {
     auto contents = ReadFileContents(f);
+    std::string display = DisplayPath(f, root);
     if (!contents.ok()) {
-      findings.push_back({"io", f, 0, contents.status().ToString()});
+      findings.push_back({"io", display, 0, contents.status().ToString()});
       continue;
     }
-    std::vector<Finding> file_findings = LintFile(f, contents.value(), rules);
+    std::vector<Finding> file_findings =
+        LintFile(display, contents.value(), rules);
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
+    if (want_facts) {
+      sources.emplace_back(display, std::move(contents.value()));
+    }
+  }
+
+  if (want_facts) {
+    facts::FactsDb db;
+    for (const auto& [path, text] : sources) {
+      facts::CollectDecls(path, text, &db.decls);
+    }
+    for (const auto& [path, text] : sources) {
+      facts::ExtractFacts(path, text, &db);
+    }
+    if (RuleEnabled(rules, "lock-order-cycle")) {
+      std::string manifest_display = "tools/hjlint/lock_order.txt";
+      facts::Manifest manifest;
+      bool have_manifest = false;
+      if (!root.empty()) {
+        auto text = ReadFileContents(root + "/" + manifest_display);
+        if (text.ok()) {
+          manifest = facts::ParseManifest(text.value());
+          have_manifest = true;
+        }
+      }
+      std::vector<Finding> lock = facts::CheckLockOrder(
+          db, manifest, manifest_display, have_manifest);
+      findings.insert(findings.end(), lock.begin(), lock.end());
+    }
+    if (RuleEnabled(rules, "callback-under-lock")) {
+      std::vector<Finding> cb = facts::CheckCallbackUnderLock(db);
+      findings.insert(findings.end(), cb.begin(), cb.end());
+    }
+    if (RuleEnabled(rules, "atomic-handoff-discipline")) {
+      std::vector<Finding> at = facts::CheckAtomicHandoff(db);
+      findings.insert(findings.end(), at.begin(), at.end());
+    }
   }
   if (!root.empty() && RuleEnabled(rules, "bench-schema-sync")) {
-    std::string diff_path = root + "/tools/bench_diff.cc";
-    std::string reporter_path = root + "/src/perf/bench_reporter.cc";
-    auto diff = ReadFileContents(diff_path);
-    auto reporter = ReadFileContents(reporter_path);
+    std::string diff_path = "tools/bench_diff.cc";
+    std::string reporter_path = "src/perf/bench_reporter.cc";
+    auto diff = ReadFileContents(root + "/" + diff_path);
+    auto reporter = ReadFileContents(root + "/" + reporter_path);
     if (diff.ok() && reporter.ok()) {
       // The per-bench config keys ("scheme", "theta", ...) are emitted
       // by the drivers, not the reporter envelope; harvest them too so
@@ -984,8 +951,83 @@ const std::vector<std::string>& AllRules() {
       "spp-ring-power-of-two", "prefetch-stage-discipline",
       "dropped-status", "raw-mutex-primitive",
       "recovery-ledger-discipline", "tuned-depth-handoff",
-      "cache-pin-discipline", "bench-schema-sync"};
+      "cache-pin-discipline", "bench-schema-sync",
+      "lock-order-cycle", "callback-under-lock",
+      "atomic-handoff-discipline"};
   return kRules;
+}
+
+// ---------------------------------------------------------------------
+// Baselines. A baseline entry is `rule<TAB>file<TAB>message` — no line
+// number, so routine edits above a known finding do not churn the file.
+// Check mode partitions current findings into suppressed (in the
+// baseline) and active (new); baseline entries that no longer fire are
+// themselves findings (stale-baseline), so paid-down debt must be
+// removed from the file.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string BaselineKey(const Finding& f) {
+  return f.rule + "\t" + f.file + "\t" + f.message;
+}
+
+}  // namespace
+
+std::string FormatBaseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const Finding& f : findings) keys.insert(BaselineKey(f));
+  std::string out =
+      "# hjlint baseline: rule<TAB>file<TAB>message, one tracked "
+      "finding per line.\n"
+      "# Regenerate with: hjlint --write-baseline=FILE <paths>\n";
+  for (const std::string& k : keys) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+BaselineApplied ApplyBaseline(const std::vector<Finding>& findings,
+                              const std::string& baseline_contents,
+                              const std::string& baseline_path) {
+  BaselineApplied result;
+  struct Entry {
+    uint32_t line;
+    std::string key;
+    bool hit = false;
+  };
+  std::vector<Entry> entries;
+  std::vector<std::string> lines = SplitLines(baseline_contents);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string s = Strip(lines[i]);
+    if (s.empty() || s[0] == '#') continue;
+    entries.push_back({uint32_t(i + 1), s, false});
+  }
+  for (const Finding& f : findings) {
+    std::string key = BaselineKey(f);
+    bool suppressed = false;
+    for (Entry& e : entries) {
+      if (e.key == key) {
+        e.hit = true;
+        suppressed = true;
+      }
+    }
+    if (suppressed) {
+      result.suppressed.push_back(f);
+    } else {
+      result.active.push_back(f);
+    }
+  }
+  for (const Entry& e : entries) {
+    if (e.hit) continue;
+    std::string rule = e.key.substr(0, e.key.find('\t'));
+    result.stale.push_back(
+        {"stale-baseline", baseline_path, e.line,
+         "baseline entry for rule `" + rule +
+             "` no longer fires — the debt is paid, remove the entry"});
+  }
+  return result;
 }
 
 }  // namespace hjlint

@@ -82,6 +82,26 @@ std::vector<Finding> LintTree(const std::vector<std::string>& paths,
 /// "count":N} — shape checked by tests/hjlint_test.cc.
 JsonValue FindingsToJson(const std::vector<Finding>& findings);
 
+/// Serializes findings as a baseline file: one `rule<TAB>file<TAB>message`
+/// line per unique finding (sorted, deduplicated), plus a header
+/// comment. Line numbers are deliberately omitted so edits above a
+/// tracked finding do not churn the baseline.
+std::string FormatBaseline(const std::vector<Finding>& findings);
+
+/// Result of checking findings against a baseline: `active` findings
+/// are not in the baseline (new debt — fail), `suppressed` ones are
+/// (tracked debt — reported but not fatal), and `stale` contains one
+/// synthetic `stale-baseline` finding per baseline entry that no longer
+/// fires (paid-down debt must be removed, or the baseline rots).
+struct BaselineApplied {
+  std::vector<Finding> active;
+  std::vector<Finding> stale;
+  std::vector<Finding> suppressed;
+};
+BaselineApplied ApplyBaseline(const std::vector<Finding>& findings,
+                              const std::string& baseline_contents,
+                              const std::string& baseline_path);
+
 /// All rule ids, for --rules validation and --help.
 const std::vector<std::string>& AllRules();
 

@@ -39,6 +39,7 @@ done
 
 failed=()
 passed=()
+declare -A stage_result  # "<preset>:<stage>" -> PASS / FAIL / skip
 
 run_step() {
   local preset="$1"; shift
@@ -49,15 +50,48 @@ run_step() {
   fi
 }
 
+# The lint stage runs the hjlint binary directly (baseline-checked, so
+# tracked debt is suppressed and stale entries fail) on presets whose
+# ctest subset includes the lint label. It is redundant with the
+# hjlint_tree test on purpose: the summary table gets a dedicated
+# lint column even when a preset's ctest step dies earlier.
+lint_stage() {
+  local preset="$1"
+  "build-$preset/tools/hjlint" \
+      --baseline=tools/hjlint/baseline.txt src bench tools examples
+}
+
 IFS=',' read -r -a preset_list <<< "$PRESETS"
 for preset in "${preset_list[@]}"; do
   ok=1
-  run_step "$preset" cmake --preset "$preset" || ok=0
-  if [ "$ok" = 1 ]; then
-    run_step "$preset" cmake --build --preset "$preset" -j "$JOBS" || ok=0
+  for stage in configure build lint test; do
+    stage_result["$preset:$stage"]="skip"
+  done
+  if run_step "$preset" cmake --preset "$preset"; then
+    stage_result["$preset:configure"]="PASS"
+  else
+    stage_result["$preset:configure"]="FAIL"; ok=0
   fi
   if [ "$ok" = 1 ]; then
-    run_step "$preset" ctest --preset "$preset" -j "$JOBS" || ok=0
+    if run_step "$preset" cmake --build --preset "$preset" -j "$JOBS"; then
+      stage_result["$preset:build"]="PASS"
+    else
+      stage_result["$preset:build"]="FAIL"; ok=0
+    fi
+  fi
+  if [ "$ok" = 1 ] && [ "$preset" = analysis ]; then
+    if run_step "$preset" lint_stage "$preset"; then
+      stage_result["$preset:lint"]="PASS"
+    else
+      stage_result["$preset:lint"]="FAIL"; ok=0
+    fi
+  fi
+  if [ "$ok" = 1 ]; then
+    if run_step "$preset" ctest --preset "$preset" -j "$JOBS"; then
+      stage_result["$preset:test"]="PASS"
+    else
+      stage_result["$preset:test"]="FAIL"; ok=0
+    fi
   fi
   if [ "$ok" = 1 ]; then
     passed+=("$preset")
@@ -68,8 +102,20 @@ done
 
 echo
 echo "=== analysis matrix summary ==="
-for p in ${passed[@]+"${passed[@]}"}; do echo "  PASS $p"; done
-for p in ${failed[@]+"${failed[@]}"}; do echo "  FAIL $p"; done
+printf '  %-10s %-10s %-10s %-10s %-10s %s\n' \
+       preset configure build lint test result
+for preset in "${preset_list[@]}"; do
+  overall=PASS
+  for p in ${failed[@]+"${failed[@]}"}; do
+    [ "$p" = "$preset" ] && overall=FAIL
+  done
+  printf '  %-10s %-10s %-10s %-10s %-10s %s\n' "$preset" \
+         "${stage_result[$preset:configure]}" \
+         "${stage_result[$preset:build]}" \
+         "${stage_result[$preset:lint]}" \
+         "${stage_result[$preset:test]}" \
+         "$overall"
+done
 
 if [ "${#failed[@]}" -ne 0 ]; then
   echo "analysis matrix: ${#failed[@]} preset(s) failed" >&2
