@@ -147,6 +147,15 @@ class PinnedTable {
 /// cannot be evicted mid-probe; they are marked doomed and freed at the
 /// last Unpin, so a revoke's full effect lands as soon as probes drain.
 ///
+/// The capacity closure is always invoked OUTSIDE mu_ (it takes broker
+/// locks; hjlint callback-under-lock), so its result is advisory — a
+/// revoke can land between a sample and the mutation it guards. Every
+/// revoke therefore also records its target under mu_ with a
+/// generation counter, and mutating paths clamp a sample that raced a
+/// revoke to that recorded target (RevokeEpoch / ClampToRevokesLocked),
+/// so the cache never admits or retains bytes above a revoked grant on
+/// the strength of a stale sample.
+///
 /// Eviction is LRU-by-benefit (GreedyDual-Size): each entry carries
 /// H = L + rebuild_cycles / bytes where L is the inflation floor (the H
 /// of the last eviction). A hit refreshes H, so recently used and
@@ -223,9 +232,27 @@ class HashTableCache {
 
   /// Current capacity: samples the live closure (outside mu_ — the
   /// closure is a broker grant's and may take other locks) or the
-  /// static budget. Callers re-lock afterwards and treat the value as a
-  /// bound, not a still-true fact.
+  /// static budget. The result is ADVISORY: it was true at some point
+  /// during the call, but a revoke can land before the caller re-locks.
+  /// Mutating paths must bracket the sample with RevokeEpoch() /
+  /// ClampToRevokesLocked() so a racing revoke's target wins over the
+  /// stale sample.
   uint64_t LiveCapacity() const HJ_EXCLUDES(mu_);
+
+  /// Revoke generation counter, for the sample-validation bracket:
+  /// read the epoch, sample LiveCapacity(), lock mu_, then clamp with
+  /// ClampToRevokesLocked(). A revoke that fires before the epoch read
+  /// is already reflected in the closure's value; one that fires after
+  /// it is caught by the epoch comparison.
+  uint64_t RevokeEpoch() const HJ_EXCLUDES(mu_);
+
+  /// Returns `sampled_cap` unless revoke_epoch_ advanced past
+  /// `epoch_before` (a revoke raced the caller's unlocked capacity
+  /// sample), in which case the sample is stale on the high side and is
+  /// clamped to the racing revoke's recorded target.
+  uint64_t ClampToRevokesLocked(uint64_t sampled_cap,
+                                uint64_t epoch_before) const
+      HJ_REQUIRES(mu_);
 
   void EraseLocked(const CacheKey& key) HJ_REQUIRES(mu_);
 
@@ -240,6 +267,13 @@ class HashTableCache {
   /// Set while a revoke left pinned-only overflow behind; makes Unpin
   /// count its deferred evictions as revoked bytes.
   bool revoke_shrink_pending_ HJ_GUARDED_BY(mu_) = false;
+  /// Bumped by every OnRevoke, under mu_. See RevokeEpoch().
+  uint64_t revoke_epoch_ HJ_GUARDED_BY(mu_) = 0;
+  /// Capacity target of the most recent revoke (min-combined with the
+  /// live budget, and with any concurrent revoke's target, at
+  /// notification time). Only consulted by samplers whose epoch
+  /// changed mid-sample, so a later re-grant naturally supersedes it.
+  uint64_t last_revoke_cap_ HJ_GUARDED_BY(mu_) = UINT64_MAX;
   CacheStats stats_ HJ_GUARDED_BY(mu_);
 };
 

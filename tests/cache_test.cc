@@ -169,6 +169,55 @@ TEST(HashTableCacheTest, RevokeDefersEvictionOfPinnedEntries) {
   EXPECT_EQ(cache.stats().revoked_bytes, charged);
 }
 
+TEST(HashTableCacheTest, RevokeRacingUnpinStillCompletesDeferredShrink) {
+  // Regression: Unpin samples capacity via the closure BEFORE taking
+  // the cache lock. A revoke landing in that window must not be lost —
+  // the last Unpin has to finish the revoke's deferred shrink, not
+  // compare against the stale pre-revoke budget and falsely clear the
+  // pending flag. The closure fires OnRevoke(0) reentrantly on its
+  // first armed call, which lands the revoke exactly inside Unpin's
+  // sample window (the closure runs with no cache lock held).
+  cache::HashTableCache cache(1ull << 30);
+  cache::CacheKey key{31, 1, 0};
+  ASSERT_TRUE(OfferEntry(&cache, key, 1000, 1e6));
+  const uint64_t charged = cache.stats().charged_bytes;
+  std::atomic<bool> armed{false};
+  cache.SetCapacityFn([&] {
+    if (armed.exchange(false)) cache.OnRevoke(0);
+    return uint64_t(1) << 30;  // stale pre-revoke budget
+  });
+  {
+    cache::PinnedTable pin = cache.Acquire(key);
+    ASSERT_TRUE(pin);
+    armed = true;
+    // pin's destructor runs Unpin: the revoke fires mid-sample, defers
+    // (the entry is still pinned), and the clamp makes this same Unpin
+    // finish the shrink once the pin drops.
+  }
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().revoked_bytes, charged);
+  EXPECT_EQ(cache.stats().charged_bytes, 0u);
+}
+
+TEST(HashTableCacheTest, RevokeRacingOfferIsNotAdmittedOverBudget) {
+  // Same window in Offer: an insert admitted against a pre-revoke
+  // sample would sit above the revoked grant with no pending flag left
+  // to correct it. The clamp must reject it.
+  cache::HashTableCache cache(1ull << 30);
+  std::atomic<bool> armed{false};
+  cache.SetCapacityFn([&] {
+    if (armed.exchange(false)) cache.OnRevoke(1);
+    return uint64_t(1) << 30;
+  });
+  armed = true;
+  cache::CacheKey key{32, 1, 0};
+  EXPECT_FALSE(OfferEntry(&cache, key, 1000, 1e6));
+  EXPECT_EQ(cache.stats().charged_bytes, 0u);
+  EXPECT_EQ(cache.stats().rejected_inserts, 1u);
+  // After the revoke settles, the (re-grown) live budget applies again.
+  EXPECT_TRUE(OfferEntry(&cache, key, 1000, 1e6));
+}
+
 TEST(HashTableCacheTest, PinDisciplineUnderConcurrentProbesAndUpdates) {
   JoinWorkload w = SmallWorkload(21);
   cache::HashTableCache cache(256ull << 20);
